@@ -1,0 +1,138 @@
+// A8: microbenchmarks of the wire codecs (google-benchmark). The ETSI
+// stack encodes every CAM/DENM with the UPER-style codec; these benches
+// establish that serialization is nowhere near the ms-scale latency budget.
+
+#include <benchmark/benchmark.h>
+
+#include "rst/its/messages/cam.hpp"
+#include "rst/its/messages/denm.hpp"
+#include "rst/its/network/geonet.hpp"
+#include "rst/core/testbed.hpp"
+#include "rst/sim/scheduler.hpp"
+
+#include <functional>
+
+namespace {
+
+using namespace rst::its;
+
+Cam sample_cam() {
+  Cam cam;
+  cam.header.station_id = 42;
+  cam.generation_delta_time = 1234;
+  cam.basic.station_type = StationType::PassengerCar;
+  cam.basic.reference_position.latitude = 411780000;
+  cam.basic.reference_position.longitude = -86080000;
+  cam.high_frequency.heading = Heading{900, 10};
+  cam.high_frequency.speed = Speed::from_mps(1.2);
+  LowFrequencyContainer lf;
+  lf.path_history.points.assign(10, PathPoint{100, -100, 10});
+  cam.low_frequency = lf;
+  return cam;
+}
+
+Denm sample_denm() {
+  Denm denm;
+  denm.header.station_id = 900;
+  denm.management.action_id = {900, 7};
+  denm.management.detection_time = kSimEpochItsMs + 5000;
+  denm.management.reference_time = kSimEpochItsMs + 5001;
+  denm.management.event_position.latitude = 411780500;
+  denm.management.event_position.longitude = -86079500;
+  denm.management.station_type = StationType::RoadSideUnit;
+  denm.situation = SituationContainer{.information_quality = 5,
+                                      .event_type = EventType::of(Cause::CollisionRisk, 2),
+                                      .linked_cause = {}};
+  LocationContainer loc;
+  loc.event_speed = Speed::from_mps(1.0);
+  loc.traces.push_back(PathHistory{{{10, 10, 5}, {20, 20, 5}, {30, 30, 5}}});
+  denm.location = loc;
+  return denm;
+}
+
+void BM_CamEncode(benchmark::State& state) {
+  const Cam cam = sample_cam();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cam.encode());
+  }
+}
+BENCHMARK(BM_CamEncode);
+
+void BM_CamDecode(benchmark::State& state) {
+  const auto bytes = sample_cam().encode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Cam::decode(bytes));
+  }
+}
+BENCHMARK(BM_CamDecode);
+
+void BM_DenmEncode(benchmark::State& state) {
+  const Denm denm = sample_denm();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(denm.encode());
+  }
+}
+BENCHMARK(BM_DenmEncode);
+
+void BM_DenmDecode(benchmark::State& state) {
+  const auto bytes = sample_denm().encode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Denm::decode(bytes));
+  }
+}
+BENCHMARK(BM_DenmDecode);
+
+void BM_GnPacketRoundTrip(benchmark::State& state) {
+  GnPacket pkt;
+  pkt.type = GnPacketType::Gbc;
+  pkt.sequence_number = 5;
+  pkt.source.address = GnAddress::from_station(900);
+  pkt.forwarder = pkt.source;
+  pkt.destination_area = WireGeoArea{411780000, -86080000, 100, 100, 0, 0};
+  pkt.payload = sample_denm().encode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GnPacket::decode(pkt.encode()));
+  }
+}
+BENCHMARK(BM_GnPacketRoundTrip);
+
+void BM_PerConstrainedInts(benchmark::State& state) {
+  for (auto _ : state) {
+    rst::asn1::PerEncoder e;
+    for (int i = 0; i < 100; ++i) e.constrained(i, 0, 4096);
+    benchmark::DoNotOptimize(e.finish());
+  }
+}
+BENCHMARK(BM_PerConstrainedInts);
+
+void BM_SchedulerThroughput(benchmark::State& state) {
+  // Events per second of the discrete-event core (chained self-scheduling,
+  // the dominant pattern in the testbed).
+  for (auto _ : state) {
+    rst::sim::Scheduler sched;
+    int remaining = 10000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) sched.schedule_in(rst::sim::SimTime::microseconds(10), tick);
+    };
+    sched.schedule_in(rst::sim::SimTime::microseconds(10), tick);
+    sched.run();
+    benchmark::DoNotOptimize(sched.executed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SchedulerThroughput);
+
+void BM_FullTrialEndToEnd(benchmark::State& state) {
+  // Wall-clock cost of simulating one complete emergency-braking trial
+  // (~6 s of simulated time across the whole stack).
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    rst::core::TestbedConfig config;
+    config.seed = seed++;
+    rst::core::TestbedScenario scenario{config};
+    benchmark::DoNotOptimize(scenario.run_emergency_brake_trial());
+  }
+}
+BENCHMARK(BM_FullTrialEndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,45 @@
+// Extension A4 (paper §V): "carry out more measurements to produce a more
+// comprehensive CDF of end-to-end latency, and possibly model it with an
+// appropriate distribution so that it can be used by the community."
+// Runs a 300-trial campaign and fits candidate parametric families by
+// moment matching, ranking them with the Kolmogorov-Smirnov statistic.
+
+#include <cstdio>
+
+#include "rst/core/experiment.hpp"
+#include "rst/sim/stats.hpp"
+
+int main() {
+  rst::core::TestbedConfig config;
+  config.seed = 60000;
+  constexpr int kRuns = 300;
+
+  std::printf("Fitting the end-to-end latency distribution (%d trials)...\n\n", kRuns);
+  const auto summary = rst::core::run_emergency_brake_experiment(config, kRuns);
+  const auto samples = summary.total_samples_ms();
+  std::printf("  samples: %zu  mean %.1f ms  sd %.1f  min %.1f  max %.1f\n\n", samples.size(),
+              summary.total_ms.mean(), summary.total_ms.stddev(), summary.total_ms.min(),
+              summary.total_ms.max());
+
+  const auto fits = rst::sim::fit_distributions(samples);
+  std::printf("  %-22s %-12s %-12s %s\n", "family", "p1", "p2", "KS statistic");
+  for (const auto& f : fits) {
+    std::printf("  %-22s %-12.4f %-12.4f %.4f\n", f.family.c_str(), f.p1, f.p2, f.ks_statistic);
+  }
+
+  const auto& best = fits.front();
+  std::printf("\n  best fit: %s (KS %.4f)\n", best.family.c_str(), best.ks_statistic);
+  std::printf("  fitted CDF checkpoints: F(40)=%.2f F(60)=%.2f F(80)=%.2f F(100)=%.2f\n",
+              best.cdf(40), best.cdf(60), best.cdf(80), best.cdf(100));
+
+  bool ok = true;
+  const auto check = [&](const char* what, bool cond) {
+    std::printf("  [%s] %s\n", cond ? "ok" : "FAIL", what);
+    ok = ok && cond;
+  };
+  std::printf("\n=== Checks ===\n");
+  check("all trials succeeded", summary.failures == 0);
+  check("a family fits with KS < 0.15", best.ks_statistic < 0.15);
+  check("fitted model puts ~all mass under 100 ms", best.cdf(100.0) > 0.97);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,61 @@
+// Extension A7 (paper §IV-B outlook): "Using parameters of the full-size
+// vehicles, such as stopping power, weight and frontal area, models can be
+// drawn to map braking distances observed in the testbed to real-world
+// ones." Maps the measured 1/10-scale braking behaviour to full size under
+// Froude similarity and compares against a physical braking model.
+
+#include <cstdio>
+
+#include "rst/core/experiment.hpp"
+#include "rst/core/scale_model.hpp"
+
+int main() {
+  using namespace rst::core;
+
+  TestbedConfig config;
+  config.seed = 50505;
+  const auto summary = run_emergency_brake_experiment(config, 20);
+  const double model_speed = config.planner.target_speed_mps;
+  const double model_distance = summary.braking_distance_m.mean();
+  const double model_decel = implied_deceleration_mps2(model_speed, model_distance);
+
+  std::printf("Testbed measurement: v = %.2f m/s, braking distance %.2f m, implied decel %.2f m/s^2\n\n",
+              model_speed, model_distance, model_decel);
+
+  constexpr double kScale = 10.0;
+  const double full_speed = froude_equivalent_speed_mps(model_speed, kScale);
+  const double froude_distance = froude_equivalent_distance_m(model_distance, kScale);
+  std::printf("Froude mapping (1/%.0f scale): equivalent speed %.2f m/s (%.1f km/h),\n", kScale,
+              full_speed, full_speed * 3.6);
+  std::printf("  scaled braking distance %.2f m\n\n", froude_distance);
+
+  const auto car = FullSizeVehicle::passenger_car();
+  const auto truck = FullSizeVehicle::heavy_truck();
+  std::printf("Physical model at the equivalent speed (no reaction time):\n");
+  const double car_distance = full_size_braking_distance_m(car, full_speed);
+  const double truck_distance = full_size_braking_distance_m(truck, full_speed);
+  std::printf("  passenger car:  %.2f m (mu=%.2f)\n", car_distance, car.friction_mu);
+  std::printf("  heavy truck:    %.2f m (mu=%.2f)\n", truck_distance, truck.friction_mu);
+  std::printf("  with 58.4 ms network-aided 'reaction': car %.2f m\n\n",
+              full_size_braking_distance_m(car, full_speed, 0.0584));
+
+  std::printf("Urban reference: 50 km/h emergency stop\n");
+  const double v50 = 50.0 / 3.6;
+  std::printf("  passenger car: %.2f m braking + %.2f m travelled during the 58.4 ms\n",
+              full_size_braking_distance_m(car, v50), v50 * 0.0584);
+  std::printf("  vs a ~1.2 s human reaction: %.2f m travelled before braking\n\n", v50 * 1.2);
+
+  bool ok = true;
+  const auto check = [&](const char* what, bool cond) {
+    std::printf("  [%s] %s\n", cond ? "ok" : "FAIL", what);
+    ok = ok && cond;
+  };
+  std::printf("=== Checks ===\n");
+  check("testbed decel within the coast-down regime (1..5 m/s^2)",
+        model_decel > 1.0 && model_decel < 5.0);
+  check("Froude speed scales by sqrt(10)", std::abs(full_speed / model_speed - std::sqrt(10.0)) < 1e-9);
+  check("truck stops longer than car", truck_distance > car_distance);
+  check("network reaction (58 ms) adds far less than human reaction (1.2 s)",
+        v50 * 0.0584 < 0.1 * (v50 * 1.2));
+  return ok ? 0 : 1;
+}

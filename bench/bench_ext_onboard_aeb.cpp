@@ -1,0 +1,92 @@
+// Extension A10: on-board AEB vs network-aided braking. The paper's
+// motivation: in-car ADAS "may fail in complex scenarios, such as
+// intersections" — a LiDAR cannot see around a blind corner, while the
+// road-side infrastructure can. Two experiments:
+//   1) open road, stationary obstacle ahead: the on-board AEB works;
+//   2) blind corner, crossing road user: AEB sees the hazard only at the
+//      last moment (occlusion), infrastructure warns far earlier.
+
+#include <cmath>
+#include <cstdio>
+
+#include "rst/core/testbed.hpp"
+
+namespace {
+
+using namespace rst;
+using namespace rst::sim::literals;
+
+core::TestbedConfig blind_corner_config(std::uint64_t seed) {
+  core::TestbedConfig config;
+  config.seed = seed;
+  config.enable_lidar_aeb = true;
+  // Wall along the protagonist's right side hiding the crossing road.
+  config.walls.push_back({.a = {0.8, 7.2}, .b = {6.0, 7.2}, .obstruction_loss_db = 35.0});
+  config.walls.push_back({.a = {0.8, 7.2}, .b = {0.8, 1.0}, .obstruction_loss_db = 35.0});
+  config.hazard.action_point_distance_m = 2.0;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== (1) Open road, stationary obstacle: on-board AEB ===\n");
+  double aeb_stop_margin = 0;
+  {
+    core::TestbedConfig config;
+    config.seed = 3001;
+    config.enable_lidar_aeb = true;
+    core::TestbedScenario scenario{config};
+    scenario.add_static_obstacle({0, 7.0}, roadside::Presentation::BodyShell);
+    scenario.start_services();
+    scenario.hazard().stop();  // network assistance off: AEB alone
+    scenario.scheduler().run_until(15_s);
+    const bool stopped = scenario.dynamics().power_cut() && scenario.dynamics().stopped();
+    const double gap = geo::distance(scenario.dynamics().position(), {0, 7.0});
+    aeb_stop_margin = stopped && scenario.aeb()->triggered() ? gap : 0.0;
+    std::printf("  AEB stop: %s, final gap to obstacle %.2f m (trigger: %s)\n",
+                stopped ? "yes" : "NO", gap, scenario.aeb()->triggered() ? "AEB" : "none");
+  }
+
+  std::printf("\n=== (2) Blind corner, crossing road user ===\n");
+  double aeb_only_separation = 0;
+  double v2x_separation = 0;
+  // A fast crossing road user timed to meet the protagonist at the
+  // intersection: it emerges from behind the wall too late for on-board
+  // sensing to matter, but the infrastructure has already seen the
+  // protagonist reach the action point and warned it.
+  const geo::Vec2 user_start{13.4, 8.0};
+  const double user_speed = 2.0;
+  {
+    core::TestbedScenario scenario{blind_corner_config(3002)};
+    scenario.add_road_user(user_start, 3 * M_PI / 2, user_speed,
+                           roadside::Presentation::StopSign);
+    scenario.start_services();
+    scenario.hazard().stop();  // AEB alone
+    scenario.scheduler().run_until(15_s);
+    aeb_only_separation = scenario.min_separation_m();
+    std::printf("  AEB only:        min separation %.2f m -> %s\n", aeb_only_separation,
+                aeb_only_separation < 0.55 ? "COLLISION" : "safe");
+  }
+  {
+    core::TestbedScenario scenario{blind_corner_config(3002)};
+    scenario.add_road_user(user_start, 3 * M_PI / 2, user_speed,
+                           roadside::Presentation::StopSign);
+    const auto r = scenario.run_emergency_brake_trial(15_s);
+    v2x_separation = scenario.min_separation_m();
+    std::printf("  AEB + V2X infra: min separation %.2f m -> %s (warning total %.1f ms)\n",
+                v2x_separation, v2x_separation < 0.55 ? "COLLISION" : "safe", r.meas_total_ms);
+  }
+
+  bool ok = true;
+  const auto check = [&](const char* what, bool cond) {
+    std::printf("  [%s] %s\n", cond ? "ok" : "FAIL", what);
+    ok = ok && cond;
+  };
+  std::printf("\n=== Shape checks ===\n");
+  check("on open road the AEB stops short of the obstacle", aeb_stop_margin > 0.1);
+  check("at the blind corner, AEB alone gets dangerously close",
+        aeb_only_separation < v2x_separation);
+  check("infrastructure warning keeps a safe separation", v2x_separation > 0.55);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+// Fig. 10 reproduction: "video frames to obtain detection-to-stop period".
+// The paper reads the road-side camera recording: in run #4 the vehicle
+// crosses the 1.52 m action point, is detected at 1.45 m (the ~4 FPS
+// processing quantises the crossing), and comes to a stop ~200 ms of video
+// later. This bench replays a trial and prints the same frame-style log,
+// then checks the detection-margin effect of the 4 FPS processing.
+
+#include <cstdio>
+
+#include "rst/core/experiment.hpp"
+
+int main() {
+  rst::core::TestbedConfig config;
+  config.seed = 2024;
+  rst::core::TestbedScenario scenario{config};
+  const auto r = scenario.run_emergency_brake_trial();
+  if (!r.stopped_by_denm) {
+    std::printf("trial failed\n");
+    return 1;
+  }
+
+  const auto mmss = [](rst::sim::SimTime t) {
+    const auto ms = t.count_ns() / 1'000'000;
+    return std::pair<long, long>{ms / 1000, ms % 1000};
+  };
+
+  std::printf("Fig. 10: video-frame reading of one run (S:ms timestamps)\n\n");
+  const auto [s1, ms1] = mmss(r.t_cross_actual);
+  const auto [s2, ms2] = mmss(r.t_detection);
+  const auto [s6, ms6] = mmss(r.t_halt);
+  std::printf("  %02ld:%03ld  vehicle crosses the %.2f m action point\n", s1, ms1,
+              config.hazard.action_point_distance_m);
+  std::printf("  %02ld:%03ld  detection output: vehicle flagged at %.2f m\n", s2, ms2,
+              r.detection_distance_m);
+  std::printf("  %02ld:%03ld  vehicle has come to a stop (%.2f m from camera)\n", s6, ms6,
+              r.stop_distance_to_camera_m);
+  std::printf("\n  crossing -> detection   %6.1f ms (frame quantisation at ~4 FPS)\n",
+              (r.t_detection - r.t_cross_actual).to_milliseconds());
+  std::printf("  detection -> full stop  %6.1f ms\n",
+              (r.t_halt - r.t_detection).to_milliseconds());
+  std::printf("  (paper run #4: action point 1.52 m, detected at 1.45 m, stop 200 ms after)\n\n");
+
+  // Aggregate over runs: the detection margin (estimated distance below the
+  // threshold at the detection instant) is bounded by speed / frame rate.
+  rst::core::TestbedConfig campaign = config;
+  campaign.seed = 3030;
+  const auto summary = rst::core::run_emergency_brake_experiment(campaign, 30);
+  rst::sim::RunningStats margin;
+  rst::sim::RunningStats detect_to_stop_ms;
+  for (const auto& t : summary.trials) {
+    if (t.stopped_by_denm) {
+      margin.add(campaign.hazard.action_point_distance_m - t.detection_distance_m);
+      detect_to_stop_ms.add((t.t_halt - t.t_detection).to_milliseconds());
+    }
+  }
+  std::printf("Detection margin over 30 runs: mean %.3f m, max %.3f m\n", margin.mean(),
+              margin.max());
+  std::printf("Detection-to-full-stop over 30 runs: mean %.0f ms, min %.0f, max %.0f\n",
+              detect_to_stop_ms.mean(), detect_to_stop_ms.min(), detect_to_stop_ms.max());
+  const double frame_travel = campaign.planner.target_speed_mps *
+                              campaign.detection.processing_period.to_seconds();
+  std::printf("Upper bound from 4 FPS processing: speed x period = %.3f m (+ noise)\n\n",
+              frame_travel);
+
+  bool ok = true;
+  const auto check = [&](const char* what, bool cond) {
+    std::printf("  [%s] %s\n", cond ? "ok" : "FAIL", what);
+    ok = ok && cond;
+  };
+  std::printf("=== Shape checks vs paper ===\n");
+  check("detection occurs below the action-point threshold (late, like 1.45 < 1.52)",
+        margin.mean() > 0.0);
+  // A single missed detection frame (p ~ 3%) doubles the margin, so the
+  // bound is two processed frames of travel plus estimator noise.
+  check("margin bounded by two processed frames of travel (+noise)",
+        margin.max() < 2.0 * frame_travel + 0.15);
+  check("detection-to-stop period below 1 s",
+        (r.t_halt - r.t_detection).to_milliseconds() < 1000.0);
+  return ok ? 0 : 1;
+}

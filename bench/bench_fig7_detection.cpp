@@ -1,0 +1,106 @@
+// Fig. 7 reproduction: the paper's exploration of how to get a steady,
+// reliable YOLO detection of the scale vehicle. The bare robot flickers as
+// 'motorbike', the Traxxas body shell oscillates between 'car' and 'truck'
+// with short range, and the cardboard stop sign is resilient. Here the
+// photographic figure becomes a measurable detection-reliability sweep.
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "rst/roadside/camera.hpp"
+#include "rst/roadside/yolo_sim.hpp"
+#include "rst/sim/scheduler.hpp"
+
+namespace {
+
+struct SweepResult {
+  double detection_rate{0};
+  std::map<std::string, int> labels;
+  double max_detected_distance{0};
+};
+
+SweepResult sweep(rst::roadside::Presentation presentation, double distance_m, int frames,
+                  std::uint64_t seed) {
+  using namespace rst;
+  sim::Scheduler sched;
+  roadside::RoadsideCamera camera{sched, {.position = {0, 0}, .facing_rad = 0.0}};
+  geo::Vec2 object_pos{0, distance_m};
+  camera.add_object({1, [&object_pos] { return object_pos; }, presentation, "car"});
+  roadside::YoloSimulator yolo{sim::RandomStream{seed, "fig7"}};
+
+  SweepResult result;
+  int detections = 0;
+  for (int i = 0; i < frames; ++i) {
+    const auto frame = camera.capture();
+    for (const auto& det : yolo.detect(frame)) {
+      ++detections;
+      ++result.labels[det.label];
+      result.max_detected_distance = std::max(result.max_detected_distance, distance_m);
+    }
+  }
+  result.detection_rate = static_cast<double>(detections) / frames;
+  return result;
+}
+
+const char* name(rst::roadside::Presentation p) {
+  switch (p) {
+    case rst::roadside::Presentation::BareRobot: return "bare robot";
+    case rst::roadside::Presentation::BodyShell: return "Traxxas body shell";
+    case rst::roadside::Presentation::StopSign: return "cardboard stop sign";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  using rst::roadside::Presentation;
+  constexpr int kFrames = 2000;
+  const double distances[] = {0.9, 1.5, 2.0, 2.4, 3.0, 4.0, 5.0};
+
+  std::printf("Fig. 7: detection reliability per presentation (per-frame detection rate)\n\n");
+  std::printf("%-22s", "distance (m):");
+  for (double d : distances) std::printf(" %6.1f", d);
+  std::printf("\n");
+
+  std::map<Presentation, double> rate_at_1m5;
+  for (Presentation p : {Presentation::BareRobot, Presentation::BodyShell, Presentation::StopSign}) {
+    std::printf("%-22s", name(p));
+    for (double d : distances) {
+      const auto r = sweep(p, d, kFrames, 99);
+      std::printf(" %5.0f%%", 100.0 * r.detection_rate);
+      if (d == 1.5) rate_at_1m5[p] = r.detection_rate;
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nPer-frame class labels at 1.5 m (%d frames):\n", kFrames);
+  for (Presentation p : {Presentation::BareRobot, Presentation::BodyShell, Presentation::StopSign}) {
+    const auto r = sweep(p, 1.5, kFrames, 123);
+    std::printf("  %-22s", name(p));
+    for (const auto& [label, count] : r.labels) {
+      std::printf(" %s:%d", label.c_str(), count);
+    }
+    std::printf("\n");
+  }
+
+  bool ok = true;
+  const auto check = [&](const char* what, bool cond) {
+    std::printf("  [%s] %s\n", cond ? "ok" : "FAIL", what);
+    ok = ok && cond;
+  };
+  std::printf("\n=== Shape checks vs paper ===\n");
+  check("stop sign detected most reliably",
+        rate_at_1m5[Presentation::StopSign] > rate_at_1m5[Presentation::BodyShell] &&
+            rate_at_1m5[Presentation::StopSign] > rate_at_1m5[Presentation::BareRobot]);
+  check("body shell better than bare robot",
+        rate_at_1m5[Presentation::BodyShell] > rate_at_1m5[Presentation::BareRobot]);
+  check("stop sign detection rate above 90%", rate_at_1m5[Presentation::StopSign] > 0.9);
+  const auto shell_labels = sweep(Presentation::BodyShell, 1.5, kFrames, 123).labels;
+  check("body shell oscillates between car and truck",
+        shell_labels.count("car") == 1 && shell_labels.count("truck") == 1);
+  const auto bare = sweep(Presentation::BareRobot, 3.0, kFrames, 5);
+  check("bare robot undetectable beyond ~2 m", bare.detection_rate == 0.0);
+  return ok ? 0 : 1;
+}

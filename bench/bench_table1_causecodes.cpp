@@ -1,0 +1,42 @@
+// Table I reproduction: the DENM cause/sub-cause code registry the paper
+// excerpts from EN 302 637-3 (codes 9, 10, 97, 99 and the stationary-vehicle
+// codes its §II-C discusses). Spec content — regenerated from the library's
+// registry so any drift from the standard set fails visibly.
+
+#include <cstdio>
+
+#include "rst/its/messages/cause_code.hpp"
+
+int main() {
+  using namespace rst::its;
+  std::printf("Table I: available cause codes (from EN 302 637-3)\n");
+  std::printf("%-6s %-45s %-5s %s\n", "Cause", "Cause description", "Sub", "Sub cause description");
+  std::printf("%.110s\n",
+              "--------------------------------------------------------------------------------"
+              "------------------------------");
+  std::uint8_t last_cause = 255;
+  for (const auto& e : cause_code_registry()) {
+    const bool first = e.cause_code != last_cause;
+    std::printf("%-6s %-45s %-5u %s\n",
+                first ? std::to_string(e.cause_code).c_str() : "",
+                first ? std::string{e.cause_description}.c_str() : "",
+                e.sub_cause_code, std::string{e.sub_cause_description}.c_str());
+    last_cause = e.cause_code;
+  }
+
+  std::printf("\nPaper Table I rows spot-check:\n");
+  const struct {
+    std::uint8_t cause, sub;
+  } checks[] = {{9, 0}, {10, 0}, {97, 1}, {97, 2}, {97, 3}, {97, 4},
+                {99, 1}, {99, 2}, {99, 3}, {99, 4}, {99, 5}, {99, 6}, {99, 7}};
+  bool all_present = true;
+  for (const auto& c : checks) {
+    const auto desc = describe_sub_cause(c.cause, c.sub);
+    const bool present = desc != "unknown";
+    all_present = all_present && present;
+    std::printf("  cause %3u / sub %u -> %s\n", c.cause, c.sub, std::string{desc}.c_str());
+  }
+  std::printf("\n%s\n", all_present ? "OK: every paper Table I row is present."
+                                    : "MISMATCH: registry is missing paper rows!");
+  return all_present ? 0 : 1;
+}

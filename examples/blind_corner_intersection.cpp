@@ -1,0 +1,74 @@
+// The motivating use case of the paper (Fig. 1): two vehicles approach an
+// intersection with a blind corner — no visual or radio line-of-sight
+// between them. A road-side camera + edge node + RSU watch the crossing
+// road and warn the ETSI ITS-capable protagonist vehicle with a DENM.
+//
+// The example runs the scenario twice:
+//   1) infrastructure assistance OFF -> the vehicles meet at the corner;
+//   2) infrastructure assistance ON  -> the protagonist stops in time.
+
+#include <cmath>
+#include <cstdio>
+
+#include "rst/core/testbed.hpp"
+
+namespace {
+
+rst::core::TestbedConfig blind_corner_config(std::uint64_t seed) {
+  using rst::geo::Vec2;
+  rst::core::TestbedConfig config;
+  config.seed = seed;
+
+  // Protagonist drives north along x=0; the crossing road runs east-west
+  // at y=8. A building wall south-east of the intersection blocks both
+  // view and radio LOS between the two inflowing roads.
+  config.track_start = {0, 0};
+  config.track_end = {0, 10};
+  config.vehicle_start = {0, 0.5};
+  config.camera_position = {0, 8.0};
+  config.camera_facing_rad = M_PI;  // looking south along the protagonist's road
+  config.rsu_position = {0.5, 8.5};
+  config.walls.push_back({.a = Vec2{0.8, 7.2}, .b = Vec2{6.0, 7.2}, .obstruction_loss_db = 35.0});
+  config.walls.push_back({.a = Vec2{0.8, 7.2}, .b = Vec2{0.8, 1.0}, .obstruction_loss_db = 35.0});
+
+  // Stop a little earlier than the lab default: give the intersection margin.
+  config.hazard.action_point_distance_m = 2.0;
+  return config;
+}
+
+double run_once(bool with_infrastructure, std::uint64_t seed, double* total_ms) {
+  rst::core::TestbedScenario scenario{blind_corner_config(seed)};
+  // The non-ITS road user: crosses the intersection westwards through the
+  // camera's region of interest, timed to meet the protagonist.
+  scenario.add_road_user({6.0, 8.0}, 3 * M_PI / 2, 1.0, rst::roadside::Presentation::StopSign);
+
+  if (!with_infrastructure) {
+    scenario.start_services();
+    scenario.hazard().stop();
+    scenario.scheduler().run_until(rst::sim::SimTime::seconds(12));
+  } else {
+    const auto r = scenario.run_emergency_brake_trial(rst::sim::SimTime::seconds(14));
+    if (total_ms) *total_ms = r.meas_total_ms;
+  }
+  return scenario.min_separation_m();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Blind-corner intersection (paper Fig. 1 use case) ===\n\n");
+
+  double unused = 0;
+  const double separation_without = run_once(false, 42, &unused);
+  std::printf("Without infrastructure: minimum separation %.2f m  -> %s\n", separation_without,
+              separation_without < 0.55 ? "COLLISION (within one vehicle length)"
+                                        : "near miss");
+
+  double total_ms = 0;
+  const double separation_with = run_once(true, 42, &total_ms);
+  std::printf("With infrastructure:    minimum separation %.2f m  -> %s\n", separation_with,
+              separation_with < 0.55 ? "COLLISION" : "safe stop");
+  std::printf("  network-aided detection-to-action delay: %.1f ms\n", total_ms);
+
+  return separation_with > separation_without ? 0 : 1;
+}

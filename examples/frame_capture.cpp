@@ -1,0 +1,60 @@
+// Frame capture: runs one emergency-braking trial with monitor taps on
+// both radios (the tcpdump-on-monitor-interface methodology of real
+// 802.11p experimentation), prints the decoded over-the-air timeline, and
+// demonstrates the capture's binary round-trip.
+
+#include <cstdio>
+
+#include "rst/core/testbed.hpp"
+#include "rst/its/network/btp.hpp"
+#include "rst/middleware/frame_log.hpp"
+
+int main() {
+  rst::core::TestbedConfig config;
+  config.seed = 3;
+  rst::core::TestbedScenario scenario{config};
+  rst::middleware::FrameLog log{scenario.scheduler()};
+  log.attach(scenario.rsu().radio());
+  log.attach(scenario.obu().radio());
+
+  const auto r = scenario.run_emergency_brake_trial();
+  if (!r.stopped_by_denm) {
+    std::printf("trial failed\n");
+    return 1;
+  }
+
+  std::printf("Over-the-air timeline (%zu frames captured):\n\n", log.frames().size());
+  std::printf("  %-12s %-10s %-8s %s\n", "time", "rssi", "bytes", "content");
+  for (const auto& frame : log.frames()) {
+    std::string content = "unparsed";
+    try {
+      const auto pkt = rst::its::GnPacket::decode(frame.payload);
+      const auto parsed = rst::its::BtpHeader::parse(pkt.payload);
+      if (parsed.header.destination_port == rst::its::kBtpPortCam) {
+        const auto cam = rst::its::Cam::decode(parsed.payload);
+        content = "CAM from station " + std::to_string(cam.header.station_id) +
+                  " (v=" + std::to_string(cam.high_frequency.speed.to_mps()) + " m/s)";
+      } else if (parsed.header.destination_port == rst::its::kBtpPortDenm) {
+        const auto denm = rst::its::Denm::decode(parsed.payload);
+        const auto cause = denm.situation ? denm.situation->event_type.cause_code : 0;
+        content = "DENM action " +
+                  std::to_string(denm.management.action_id.originating_station) + "/" +
+                  std::to_string(denm.management.action_id.sequence_number) + " cause " +
+                  std::to_string(cause) + " (" + std::string{rst::its::describe_cause(cause)} + ")";
+      }
+    } catch (const rst::asn1::DecodeError&) {
+    }
+    std::printf("  %-12s %6.1f dBm %5zu B  %s\n", frame.when.to_string().c_str(), frame.rssi_dbm,
+                frame.payload.size(), content.c_str());
+  }
+
+  const auto summary = log.summarize();
+  std::printf("\nsummary: %zu frames = %zu CAMs + %zu DENMs + %zu other\n", summary.total,
+              summary.cams, summary.denms, summary.other);
+
+  const auto serialized = log.serialize();
+  const auto replay = rst::middleware::FrameLog::parse(serialized);
+  std::printf("capture serialized to %zu bytes; re-parsed %zu frames — %s\n", serialized.size(),
+              replay.size(), replay.size() == log.frames().size() ? "round-trip OK" : "MISMATCH");
+  return replay.size() == log.frames().size() ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+// Platoon extension (paper §V future work): a line of connected scale
+// vehicles follows a leader; the road-side infrastructure advertises an
+// emergency event and the detection-to-action delay is evaluated for the
+// entire platoon. Three arrangements are compared:
+//   a) full-power 802.11p — every OBU hears the RSU directly;
+//   b) range-limited 802.11p — the DENM geo-broadcast is forwarded down
+//      the platoon by GeoNetworking contention-based forwarding;
+//   c) 5G-capable leader + 802.11p intra-platoon forwarding (the paper's
+//      multi-technology arrangement).
+
+#include <cstdio>
+
+#include "rst/core/platoon.hpp"
+
+namespace {
+
+void report(const char* title, const rst::core::PlatoonResult& result) {
+  std::printf("%s\n", title);
+  for (const auto& v : result.vehicles) {
+    std::printf("  vehicle %d: %s, detection-to-action %6.1f ms\n", v.index,
+                v.stopped ? "stopped" : "STILL MOVING", v.detection_to_action_ms);
+  }
+  std::printf("  platoon-level (worst) detection-to-action: %.1f ms\n\n",
+              result.worst_detection_to_action_ms);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Connected platoon emergency stop ===\n\n");
+
+  {
+    rst::core::PlatoonConfig config;
+    config.seed = 11;
+    config.n_vehicles = 5;
+    rst::core::PlatoonScenario scenario{config};
+    report("(a) 802.11p, full power (single hop):", scenario.run_emergency_stop());
+  }
+  {
+    rst::core::PlatoonConfig config;
+    config.seed = 12;
+    config.n_vehicles = 5;
+    config.spacing_m = 12.0;
+    config.radio.tx_power_dbm = -18.0;  // shrink radio range to a couple of gaps
+    config.radio.cs_threshold_dbm = -80.0;
+    rst::core::PlatoonScenario scenario{config};
+    report("(b) 802.11p, range-limited (multi-hop GeoNetworking forwarding):",
+           scenario.run_emergency_stop());
+  }
+  {
+    rst::core::PlatoonConfig config;
+    config.seed = 13;
+    config.n_vehicles = 5;
+    config.leader_uses_cellular = true;
+    rst::core::PlatoonScenario scenario{config};
+    report("(c) 5G leader + 802.11p intra-platoon forwarding:", scenario.run_emergency_stop());
+  }
+  return 0;
+}

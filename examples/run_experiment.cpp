@@ -1,0 +1,131 @@
+// Command-line experiment runner: the tool a testbed operator would use to
+// run measurement campaigns with different knobs, the way the paper's
+// authors ran their five (Table II) and seven (Table III) trials.
+//
+// Usage:
+//   run_experiment [--trials N] [--seed S] [--poll-ms P] [--fps F]
+//                  [--speed V] [--action-point D]
+//                  [--bearer its-g5|embb|urllc] [--csv]
+//
+// Prints the Table II/III style summary; --csv additionally dumps one line
+// per trial for external analysis.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <fstream>
+
+#include "rst/core/config_io.hpp"
+#include "rst/core/experiment.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--trials N] [--seed S] [--poll-ms P] [--fps F] [--speed V]\n"
+      "          [--action-point D] [--bearer its-g5|embb|urllc] [--csv]\n"
+      "          [--config FILE] [--list-config-keys]\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int trials = 10;
+  rst::core::TestbedConfig config;
+  config.seed = 1;
+  bool csv = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--trials") {
+      trials = std::atoi(next());
+    } else if (arg == "--seed") {
+      config.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--poll-ms") {
+      config.message_handler.poll_period = rst::sim::SimTime::milliseconds(std::atol(next()));
+    } else if (arg == "--fps") {
+      config.detection.processing_period =
+          rst::sim::SimTime::from_milliseconds(1000.0 / std::atof(next()));
+    } else if (arg == "--speed") {
+      config.planner.target_speed_mps = std::atof(next());
+    } else if (arg == "--action-point") {
+      config.hazard.action_point_distance_m = std::atof(next());
+    } else if (arg == "--bearer") {
+      const std::string bearer = next();
+      if (bearer == "its-g5") {
+        config.warning_path = rst::core::WarningPath::ItsG5;
+      } else if (bearer == "embb") {
+        config.warning_path = rst::core::WarningPath::CellularEmbb;
+      } else if (bearer == "urllc") {
+        config.warning_path = rst::core::WarningPath::CellularUrllc;
+      } else {
+        usage(argv[0]);
+        return 2;
+      }
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--config") {
+      std::ifstream file{next()};
+      if (!file) {
+        std::fprintf(stderr, "cannot open config file\n");
+        return 2;
+      }
+      std::string text{std::istreambuf_iterator<char>{file}, std::istreambuf_iterator<char>{}};
+      try {
+        const auto n = rst::core::apply_config_overrides(config, text);
+        std::printf("applied %zu config override(s)\n", n);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+    } else if (arg == "--list-config-keys") {
+      for (const auto& [key, help] : rst::core::config_override_keys()) {
+        std::printf("  %-24s %s\n", key.c_str(), help.c_str());
+      }
+      return 0;
+    } else {
+      usage(argv[0]);
+      return arg == "--help" ? 0 : 2;
+    }
+  }
+  if (trials < 1) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  std::printf("Running %d emergency-braking trials (seed %llu)...\n\n", trials,
+              static_cast<unsigned long long>(config.seed));
+  const auto summary = rst::core::run_emergency_brake_experiment(config, trials);
+  std::printf("%s\n%s\n", rst::core::format_table2(summary, trials).c_str(),
+              rst::core::format_table3(summary, trials).c_str());
+  if (summary.failures > 0) {
+    std::printf("WARNING: %zu trial(s) did not stop via DENM\n", summary.failures);
+  }
+  if (summary.total_ms.count() >= 2) {
+    const auto ci = rst::sim::bootstrap_mean_ci(summary.total_samples_ms());
+    std::printf("total delay mean %.1f ms, 95%% bootstrap CI [%.1f, %.1f]\n", ci.point, ci.lower,
+                ci.upper);
+  }
+
+  if (csv) {
+    std::printf("\ntrial,detection_to_rsu_ms,rsu_to_obu_ms,obu_to_actuator_ms,total_ms,"
+                "braking_distance_m,stopped\n");
+    int index = 0;
+    for (const auto& t : summary.trials) {
+      std::printf("%d,%.3f,%.3f,%.3f,%.3f,%.3f,%d\n", index++, t.meas_detection_to_rsu_ms,
+                  t.meas_rsu_to_obu_ms, t.meas_obu_to_actuator_ms, t.meas_total_ms,
+                  t.braking_distance_m, t.stopped_by_denm ? 1 : 0);
+    }
+  }
+  return summary.failures == 0 ? 0 : 1;
+}

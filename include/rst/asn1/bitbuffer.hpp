@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace rst::asn1 {
+
+/// Error thrown on malformed input during decoding.
+class DecodeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// MSB-first bit writer backing the UPER encoder.
+class BitWriter {
+ public:
+  void write_bit(bool b);
+  /// Writes the low `nbits` of `value`, MSB first. nbits in [0, 64].
+  void write_bits(std::uint64_t value, unsigned nbits);
+  void write_bytes(const std::uint8_t* data, std::size_t n);
+  /// Pads the final partial byte with zero bits and returns the buffer.
+  [[nodiscard]] std::vector<std::uint8_t> finish() const;
+
+  [[nodiscard]] std::size_t bit_count() const { return bit_count_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t bit_count_{0};
+};
+
+/// MSB-first bit reader backing the UPER decoder.
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* data, std::size_t size_bytes)
+      : data_{data}, size_bits_{size_bytes * 8} {}
+  explicit BitReader(const std::vector<std::uint8_t>& buf) : BitReader{buf.data(), buf.size()} {}
+
+  [[nodiscard]] bool read_bit();
+  /// Reads `nbits` (<= 64) MSB-first.
+  [[nodiscard]] std::uint64_t read_bits(unsigned nbits);
+  void read_bytes(std::uint8_t* out, std::size_t n);
+
+  [[nodiscard]] std::size_t bits_remaining() const { return size_bits_ - pos_; }
+  [[nodiscard]] std::size_t bit_position() const { return pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_bits_;
+  std::size_t pos_{0};
+};
+
+}  // namespace rst::asn1

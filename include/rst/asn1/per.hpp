@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rst/asn1/bitbuffer.hpp"
+
+namespace rst::asn1 {
+
+/// Unaligned-PER style encoder (ITU-T X.691 subset).
+///
+/// Implements the encodings the ETSI ITS CAM/DENM schemas need:
+/// constrained whole numbers, extensible constrained integers, enumerateds,
+/// booleans, optional-presence bitmaps (caller-driven), length determinants,
+/// OCTET/IA5 strings and SEQUENCE OF with constrained counts.
+class PerEncoder {
+ public:
+  void boolean(bool v) { w_.write_bit(v); }
+
+  /// Constrained whole number in [lo, hi] (X.691 §10.5, unaligned).
+  void constrained(std::int64_t v, std::int64_t lo, std::int64_t hi);
+
+  /// Extensible constrained integer ("(lo..hi, ...)"): one extension bit,
+  /// then either the root encoding or an unconstrained value.
+  void constrained_ext(std::int64_t v, std::int64_t lo, std::int64_t hi);
+
+  /// Semi-constrained / unconstrained integer with length determinant
+  /// (X.691 §10.8/§12.2.6): minimal octets, two's complement.
+  void unconstrained(std::int64_t v);
+
+  /// Enumerated with `count` root values (no extension marker).
+  void enumerated(std::uint32_t index, std::uint32_t count);
+
+  /// General length determinant (X.691 §10.9, unaligned variant without
+  /// fragmentation; supports lengths < 16384).
+  void length(std::size_t n);
+
+  void octet_string(const std::vector<std::uint8_t>& v);
+  /// Fixed-size OCTET STRING (no length determinant on the wire).
+  void fixed_octet_string(const std::uint8_t* data, std::size_t n);
+  void ia5_string(const std::string& s);
+
+  void bits(std::uint64_t value, unsigned nbits) { w_.write_bits(value, nbits); }
+
+  [[nodiscard]] std::vector<std::uint8_t> finish() const { return w_.finish(); }
+  [[nodiscard]] std::size_t bit_count() const { return w_.bit_count(); }
+
+ private:
+  BitWriter w_;
+};
+
+/// Unaligned-PER style decoder matching PerEncoder. Owns a copy of the
+/// input bytes, so it is safe to construct from a temporary buffer.
+class PerDecoder {
+ public:
+  explicit PerDecoder(std::vector<std::uint8_t> buf) : owned_{std::move(buf)}, r_{owned_} {}
+  PerDecoder(const std::uint8_t* data, std::size_t n) : owned_{data, data + n}, r_{owned_} {}
+
+  [[nodiscard]] bool boolean() { return r_.read_bit(); }
+  [[nodiscard]] std::int64_t constrained(std::int64_t lo, std::int64_t hi);
+  [[nodiscard]] std::int64_t constrained_ext(std::int64_t lo, std::int64_t hi);
+  [[nodiscard]] std::int64_t unconstrained();
+  [[nodiscard]] std::uint32_t enumerated(std::uint32_t count);
+  [[nodiscard]] std::size_t length();
+  [[nodiscard]] std::vector<std::uint8_t> octet_string();
+  void fixed_octet_string(std::uint8_t* out, std::size_t n);
+  [[nodiscard]] std::string ia5_string();
+  [[nodiscard]] std::uint64_t bits(unsigned nbits) { return r_.read_bits(nbits); }
+
+  [[nodiscard]] std::size_t bits_remaining() const { return r_.bits_remaining(); }
+
+ private:
+  std::vector<std::uint8_t> owned_;
+  BitReader r_;
+};
+
+/// Number of bits needed to encode values in [0, range-1]; 0 when range==1.
+[[nodiscard]] unsigned bits_for_range(std::uint64_t range);
+
+}  // namespace rst::asn1

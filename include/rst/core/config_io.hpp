@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rst/core/testbed.hpp"
+
+namespace rst::core {
+
+/// Applies `key = value` overrides (one per line, `#` comments) to a
+/// TestbedConfig — the persistent-experiment-description format consumed
+/// by `examples/run_experiment --config`. Unknown keys throw
+/// std::invalid_argument naming the key. Returns the number of overrides
+/// applied.
+std::size_t apply_config_overrides(TestbedConfig& config, const std::string& text);
+
+/// The keys apply_config_overrides understands, with one-line help.
+[[nodiscard]] std::vector<std::pair<std::string, std::string>> config_override_keys();
+
+}  // namespace rst::core

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rst/core/testbed.hpp"
+#include "rst/sim/stats.hpp"
+
+namespace rst::core {
+
+/// Aggregated results over a set of emergency-braking trials.
+struct ExperimentSummary {
+  std::vector<TrialResult> trials;
+  sim::RunningStats detection_to_rsu_ms{};
+  sim::RunningStats rsu_to_obu_ms{};
+  sim::RunningStats obu_to_actuator_ms{};
+  sim::RunningStats total_ms{};
+  sim::RunningStats braking_distance_m{};
+  std::size_t failures{0};
+
+  [[nodiscard]] std::vector<double> total_samples_ms() const;
+  [[nodiscard]] std::vector<double> braking_samples_m() const;
+};
+
+/// Runs `n` independent emergency-braking trials (fresh testbed per trial,
+/// seeds seed+0..n-1) and aggregates the paper's Table II/III quantities.
+[[nodiscard]] ExperimentSummary run_emergency_brake_experiment(const TestbedConfig& base_config,
+                                                               int n_trials);
+
+/// Renders a Table II-style report (paper rows vs measured) to a string.
+[[nodiscard]] std::string format_table2(const ExperimentSummary& summary, int max_rows = 5);
+
+/// Renders a Table III-style report.
+[[nodiscard]] std::string format_table3(const ExperimentSummary& summary, int max_rows = 7);
+
+}  // namespace rst::core

@@ -1,0 +1,44 @@
+#pragma once
+
+namespace rst::core {
+
+/// Parameters of a full-size vehicle used to map testbed braking
+/// observations to real-world stopping distances (paper §IV-B outlook:
+/// "Using parameters of the full-size vehicles, such as stopping power,
+/// weight and frontal area, models can be drawn to map braking distances
+/// observed in the testbed to real-world ones").
+struct FullSizeVehicle {
+  double mass_kg{1500};
+  double frontal_area_m2{2.2};
+  double drag_coefficient{0.30};
+  /// Tyre-road friction available for braking.
+  double friction_mu{0.8};
+  /// Fraction of the friction limit the braking system sustains.
+  double brake_efficiency{0.9};
+
+  [[nodiscard]] static FullSizeVehicle passenger_car() { return {}; }
+  [[nodiscard]] static FullSizeVehicle heavy_truck() {
+    return {.mass_kg = 18000, .frontal_area_m2 = 9.0, .drag_coefficient = 0.6,
+            .friction_mu = 0.65, .brake_efficiency = 0.85};
+  }
+};
+
+/// Stopping distance of a full-size vehicle from `speed_mps`, integrating
+/// friction braking + aerodynamic drag, plus a driver/system `reaction_s`
+/// dead time at constant speed.
+[[nodiscard]] double full_size_braking_distance_m(const FullSizeVehicle& vehicle, double speed_mps,
+                                                  double reaction_s = 0.0);
+
+/// Dynamic-similarity (Froude) speed mapping: the full-size speed whose
+/// dynamics correspond to `model_speed_mps` on a 1/`scale` model.
+[[nodiscard]] double froude_equivalent_speed_mps(double model_speed_mps, double scale);
+
+/// Geometric mapping of a braking distance observed on the 1/`scale`
+/// testbed to full size under Froude similarity (distances scale by
+/// `scale` when speeds scale by sqrt(scale) and decelerations match).
+[[nodiscard]] double froude_equivalent_distance_m(double model_distance_m, double scale);
+
+/// The deceleration implied by a measured braking distance (v^2 / 2d).
+[[nodiscard]] double implied_deceleration_mps2(double speed_mps, double braking_distance_m);
+
+}  // namespace rst::core

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "rst/geo/vec2.hpp"
+#include "rst/sim/random.hpp"
+
+namespace rst::dot11p {
+
+/// Deterministic (position-only) part of a propagation model.
+class PathLossModel {
+ public:
+  virtual ~PathLossModel() = default;
+  /// Path loss in dB between transmitter and receiver positions.
+  [[nodiscard]] virtual double loss_db(geo::Vec2 tx, geo::Vec2 rx) const = 0;
+};
+
+/// Friis free-space loss at 5.9 GHz (ITS-G5 band).
+class FreeSpaceModel final : public PathLossModel {
+ public:
+  explicit FreeSpaceModel(double frequency_hz = 5.9e9);
+  [[nodiscard]] double loss_db(geo::Vec2 tx, geo::Vec2 rx) const override;
+
+ private:
+  double fixed_term_db_;
+};
+
+/// Log-distance model: loss(d) = loss(d0) + 10 n log10(d/d0).
+class LogDistanceModel final : public PathLossModel {
+ public:
+  LogDistanceModel(double exponent, double reference_loss_db, double reference_distance_m = 1.0);
+  [[nodiscard]] double loss_db(geo::Vec2 tx, geo::Vec2 rx) const override;
+
+  /// Convenience: log-distance anchored to free space at 1 m, 5.9 GHz.
+  [[nodiscard]] static LogDistanceModel its_g5(double exponent = 2.2);
+
+ private:
+  double exponent_;
+  double reference_loss_db_;
+  double reference_distance_m_;
+};
+
+/// Dual-slope log-distance model (common VANET fit, e.g. Cheng et al.):
+/// exponent n1 up to the breakpoint distance, n2 beyond it. Captures the
+/// ground-reflection breakpoint of 5.9 GHz V2X links.
+class DualSlopeModel final : public PathLossModel {
+ public:
+  DualSlopeModel(double near_exponent, double far_exponent, double breakpoint_m,
+                 double reference_loss_db, double reference_distance_m = 1.0);
+  [[nodiscard]] double loss_db(geo::Vec2 tx, geo::Vec2 rx) const override;
+
+  /// Anchored to free space at 1 m, 5.9 GHz; typical highway fit
+  /// (n1 = 2.0 to ~100 m, n2 = 3.8 beyond).
+  [[nodiscard]] static DualSlopeModel its_g5(double near_exponent = 2.0,
+                                             double far_exponent = 3.8,
+                                             double breakpoint_m = 100.0);
+
+ private:
+  double near_exponent_;
+  double far_exponent_;
+  double breakpoint_m_;
+  double reference_loss_db_;
+  double reference_distance_m_;
+};
+
+/// An opaque wall segment; any link whose LOS ray crosses it incurs an
+/// extra obstruction loss. Models the paper's blind-corner scenario
+/// ("vehicles do not have Line-of-Sight visually nor wirelessly").
+struct Wall {
+  geo::Vec2 a;
+  geo::Vec2 b;
+  double obstruction_loss_db{20.0};
+};
+
+/// Decorates a base model with obstacle (NLOS) losses from wall segments.
+class ObstacleShadowingModel final : public PathLossModel {
+ public:
+  ObstacleShadowingModel(std::unique_ptr<PathLossModel> base, std::vector<Wall> walls);
+  [[nodiscard]] double loss_db(geo::Vec2 tx, geo::Vec2 rx) const override;
+
+  /// True when the segment tx-rx crosses at least one wall.
+  [[nodiscard]] bool is_nlos(geo::Vec2 tx, geo::Vec2 rx) const;
+
+ private:
+  std::unique_ptr<PathLossModel> base_;
+  std::vector<Wall> walls_;
+};
+
+/// True when segments ab and cd properly intersect (shared endpoints count).
+[[nodiscard]] bool segments_intersect(geo::Vec2 a, geo::Vec2 b, geo::Vec2 c, geo::Vec2 d);
+
+/// Small-scale fading applied per transmission per receiver.
+enum class FadingModel : std::uint8_t {
+  None,
+  /// Nakagami-m amplitude fading (m=1 is Rayleigh; m>=3 near-LOS). The
+  /// received power is scaled by a unit-mean gamma draw with shape m.
+  Nakagami,
+};
+
+/// Full channel = deterministic path loss + log-normal shadowing sigma +
+/// optional small-scale fading. The stochastic draws are made per
+/// transmission per receiver by the Medium.
+struct ChannelModel {
+  std::shared_ptr<const PathLossModel> path_loss;
+  double shadowing_sigma_db{0.0};
+  FadingModel fading{FadingModel::None};
+  /// Nakagami shape parameter (ignored unless fading == Nakagami).
+  double nakagami_m{3.0};
+};
+
+}  // namespace rst::dot11p

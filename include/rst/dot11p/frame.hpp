@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rst/dot11p/phy_params.hpp"
+#include "rst/sim/time.hpp"
+
+namespace rst::dot11p {
+
+/// Link-layer broadcast address.
+inline constexpr std::uint64_t kBroadcastMac = 0xffffffffffffULL;
+
+/// A MAC frame as seen by the link layer user (GeoNetworking). All ITS-G5
+/// CAM/DENM traffic is broadcast in OCB mode, so there is no dst/ACK.
+struct Frame {
+  std::uint64_t src_mac{0};
+  std::vector<std::uint8_t> payload;  // LLC payload (GeoNetworking packet)
+  AccessCategory ac{AccessCategory::Video};
+};
+
+/// Reception metadata delivered with a frame.
+struct RxInfo {
+  double rssi_dbm{0};
+  double sinr_db{0};
+  sim::SimTime rx_time{};
+  std::uint64_t src_mac{0};
+};
+
+}  // namespace rst::dot11p

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "rst/dot11p/channel.hpp"
+#include "rst/dot11p/frame.hpp"
+#include "rst/sim/random.hpp"
+#include "rst/sim/scheduler.hpp"
+
+namespace rst::dot11p {
+
+class Radio;
+
+/// The shared radio environment: propagation, interference and frame
+/// delivery between all attached radios.
+///
+/// Model: when a radio transmits, the receive power at every other radio is
+/// drawn once (path loss + log-normal shadowing) and reused both for
+/// carrier-sense busy indications and for the reception decision at the end
+/// of the airtime. Reception fails if the receiver transmitted during the
+/// frame (half-duplex), if the power is below sensitivity, or by a
+/// SINR-dependent packet error draw where interference is the sum of all
+/// time-overlapping transmissions. Hidden terminals arise naturally from
+/// per-receiver carrier sensing.
+class Medium {
+ public:
+  Medium(sim::Scheduler& sched, sim::RandomStream rng, ChannelModel channel);
+
+  void attach(Radio* radio);
+  void detach(Radio* radio);
+
+  /// Called by Radio when its MAC wins channel access. `psdu_bytes` is the
+  /// on-air PSDU size (payload + MAC overhead).
+  void begin_transmission(Radio* tx, Frame frame, std::size_t psdu_bytes);
+
+  /// Deterministic receive power (dBm) ignoring the shadowing draw; used by
+  /// link-budget introspection and tests.
+  [[nodiscard]] double mean_rx_power_dbm(const Radio& tx, const Radio& rx) const;
+
+  struct Stats {
+    std::uint64_t frames_transmitted{0};
+    std::uint64_t deliveries{0};
+    std::uint64_t dropped_half_duplex{0};
+    std::uint64_t dropped_below_sensitivity{0};
+    std::uint64_t dropped_error{0};
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+  [[nodiscard]] const ChannelModel& channel() const { return channel_; }
+
+ private:
+  struct Transmission {
+    Radio* tx;
+    Frame frame;
+    std::size_t psdu_bytes;
+    sim::SimTime start;
+    sim::SimTime end;
+    std::map<Radio*, double> rx_power_dbm;
+  };
+
+  void finish_transmission(const std::shared_ptr<Transmission>& t);
+  [[nodiscard]] double interference_mw(const Transmission& t, Radio* rx) const;
+
+  sim::Scheduler& sched_;
+  sim::RandomStream shadow_rng_;
+  sim::RandomStream per_rng_;
+  ChannelModel channel_;
+  std::vector<Radio*> radios_;
+  std::vector<std::shared_ptr<Transmission>> transmissions_;
+  Stats stats_;
+};
+
+}  // namespace rst::dot11p

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+
+#include "rst/geo/vec2.hpp"
+
+namespace rst::geo {
+
+/// Geographic position in degrees (WGS84).
+struct GeoPosition {
+  double latitude_deg{0};
+  double longitude_deg{0};
+};
+
+/// ETSI ITS encodes positions in units of 0.1 micro-degree
+/// (Latitude/Longitude DEs of TS 102 894-2). These helpers convert between
+/// degrees and the wire representation.
+[[nodiscard]] constexpr std::int32_t to_its_tenth_microdegree(double deg) {
+  return static_cast<std::int32_t>(deg * 1e7 + (deg >= 0 ? 0.5 : -0.5));
+}
+[[nodiscard]] constexpr double from_its_tenth_microdegree(std::int32_t v) {
+  return static_cast<double>(v) * 1e-7;
+}
+
+/// Great-circle distance (haversine) in metres.
+[[nodiscard]] double haversine_m(GeoPosition a, GeoPosition b);
+
+/// Small-area local tangent frame anchored at an origin; equirectangular
+/// projection, accurate to millimetres over the few-hundred-metre extents
+/// the scale testbed (and a real intersection) covers.
+class LocalFrame {
+ public:
+  explicit LocalFrame(GeoPosition origin);
+
+  [[nodiscard]] GeoPosition origin() const { return origin_; }
+  /// Geographic -> local east-north metres.
+  [[nodiscard]] Vec2 to_local(GeoPosition p) const;
+  /// Local east-north metres -> geographic.
+  [[nodiscard]] GeoPosition to_geo(Vec2 p) const;
+
+ private:
+  GeoPosition origin_;
+  double metres_per_deg_lat_;
+  double metres_per_deg_lon_;
+};
+
+}  // namespace rst::geo

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cmath>
+
+namespace rst::geo {
+
+/// 2-D vector in metres, local East-North frame (x = east, y = north).
+struct Vec2 {
+  double x{0};
+  double y{0};
+
+  constexpr Vec2& operator+=(Vec2 o) { x += o.x; y += o.y; return *this; }
+  constexpr Vec2& operator-=(Vec2 o) { x -= o.x; y -= o.y; return *this; }
+  constexpr Vec2& operator*=(double k) { x *= k; y *= k; return *this; }
+
+  [[nodiscard]] friend constexpr Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  [[nodiscard]] friend constexpr Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  [[nodiscard]] friend constexpr Vec2 operator*(Vec2 a, double k) { return {a.x * k, a.y * k}; }
+  [[nodiscard]] friend constexpr Vec2 operator*(double k, Vec2 a) { return {a.x * k, a.y * k}; }
+  [[nodiscard]] friend constexpr Vec2 operator/(Vec2 a, double k) { return {a.x / k, a.y / k}; }
+  [[nodiscard]] friend constexpr bool operator==(Vec2 a, Vec2 b) { return a.x == b.x && a.y == b.y; }
+
+  [[nodiscard]] constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  /// z-component of the 3-D cross product; >0 when `o` is counter-clockwise from *this.
+  [[nodiscard]] constexpr double cross(Vec2 o) const { return x * o.y - y * o.x; }
+  [[nodiscard]] double norm() const { return std::hypot(x, y); }
+  [[nodiscard]] constexpr double norm2() const { return x * x + y * y; }
+  [[nodiscard]] Vec2 normalized() const {
+    const double n = norm();
+    return n > 0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+  /// Rotates counter-clockwise by `angle_rad`.
+  [[nodiscard]] Vec2 rotated(double angle_rad) const {
+    const double c = std::cos(angle_rad);
+    const double s = std::sin(angle_rad);
+    return {c * x - s * y, s * x + c * y};
+  }
+};
+
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+/// Heading in radians measured clockwise from north (ITS convention),
+/// for a velocity/direction vector in the east-north frame.
+[[nodiscard]] inline double heading_from_vector(Vec2 v) {
+  double h = std::atan2(v.x, v.y);  // atan2(east, north)
+  if (h < 0) h += 2.0 * M_PI;
+  return h;
+}
+
+/// Unit vector for an ITS heading (clockwise from north).
+[[nodiscard]] inline Vec2 vector_from_heading(double heading_rad) {
+  return {std::sin(heading_rad), std::cos(heading_rad)};
+}
+
+}  // namespace rst::geo

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "rst/asn1/per.hpp"
+
+namespace rst::its {
+
+/// CauseCodeType DE values (EN 302 637-3 Table 10 / TS 102 894-2).
+/// The subset the paper discusses (its Table I) plus the other standard
+/// direct cause codes, so applications can advertise any standard event.
+enum class Cause : std::uint8_t {
+  Reserved = 0,
+  TrafficCondition = 1,
+  Accident = 2,
+  Roadworks = 3,
+  AdverseWeatherAdhesion = 6,
+  HazardousLocationSurfaceCondition = 9,
+  HazardousLocationObstacleOnTheRoad = 10,
+  HazardousLocationAnimalOnTheRoad = 11,
+  HumanPresenceOnTheRoad = 12,
+  WrongWayDriving = 14,
+  RescueAndRecoveryWorkInProgress = 15,
+  AdverseWeatherExtremeWeather = 17,
+  AdverseWeatherVisibility = 18,
+  AdverseWeatherPrecipitation = 19,
+  SlowVehicle = 26,
+  DangerousEndOfQueue = 27,
+  VehicleBreakdown = 91,
+  PostCrash = 92,
+  HumanProblem = 93,
+  StationaryVehicle = 94,
+  EmergencyVehicleApproaching = 95,
+  HazardousLocationDangerousCurve = 96,
+  CollisionRisk = 97,
+  SignalViolation = 98,
+  DangerousSituation = 99,
+};
+
+/// Sub-cause codes for Cause::CollisionRisk (paper Table I).
+enum class CollisionRiskSubCause : std::uint8_t {
+  Unavailable = 0,
+  LongitudinalCollisionRisk = 1,
+  CrossingCollisionRisk = 2,
+  LateralCollisionRisk = 3,
+  VulnerableRoadUser = 4,
+};
+
+/// Sub-cause codes for Cause::DangerousSituation (paper Table I).
+enum class DangerousSituationSubCause : std::uint8_t {
+  Unavailable = 0,
+  EmergencyElectronicBrakeLights = 1,
+  PreCrashSystemActivated = 2,
+  EspActivated = 3,
+  AbsActivated = 4,
+  AebActivated = 5,
+  BrakeWarningActivated = 6,
+  CollisionRiskWarningActivated = 7,
+};
+
+/// Sub-cause codes for Cause::StationaryVehicle (paper §II-C example:
+/// subCauseCode 1 = human problem, 2 = vehicle breakdown).
+enum class StationaryVehicleSubCause : std::uint8_t {
+  Unavailable = 0,
+  HumanProblem = 1,
+  VehicleBreakdown = 2,
+  PostCrash = 3,
+  PublicTransportStop = 4,
+  CarryingDangerousGoods = 5,
+};
+
+/// EventType / CauseCode DF: the (causeCode, subCauseCode) pair carried in
+/// the DENM Situation container.
+struct EventType {
+  std::uint8_t cause_code{0};
+  std::uint8_t sub_cause_code{0};
+
+  [[nodiscard]] static EventType of(Cause c, std::uint8_t sub = 0) {
+    return {static_cast<std::uint8_t>(c), sub};
+  }
+  [[nodiscard]] Cause cause() const { return static_cast<Cause>(cause_code); }
+
+  void encode(asn1::PerEncoder& e) const;
+  static EventType decode(asn1::PerDecoder& d);
+  friend auto operator<=>(const EventType&, const EventType&) = default;
+};
+
+/// One row of the cause-code registry (paper Table I reproduction).
+struct CauseCodeEntry {
+  std::uint8_t cause_code;
+  std::string_view cause_description;
+  std::uint8_t sub_cause_code;
+  std::string_view sub_cause_description;
+};
+
+/// Full registry of the cause/sub-cause descriptions this library knows
+/// (superset of the paper's Table I excerpt).
+[[nodiscard]] const std::vector<CauseCodeEntry>& cause_code_registry();
+
+/// Human-readable description of a direct cause code; "unknown" when the
+/// code is not in the registry.
+[[nodiscard]] std::string_view describe_cause(std::uint8_t cause_code);
+/// Human-readable description of a (cause, sub-cause) pair.
+[[nodiscard]] std::string_view describe_sub_cause(std::uint8_t cause_code, std::uint8_t sub_cause_code);
+
+}  // namespace rst::its

@@ -1,0 +1,146 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rst/asn1/per.hpp"
+#include "rst/sim/time.hpp"
+
+namespace rst::its {
+
+/// ITS station identifier (StationID DE, 0..4294967295).
+using StationId = std::uint32_t;
+
+/// StationType DE (TS 102 894-2 §A.78).
+enum class StationType : std::uint8_t {
+  Unknown = 0,
+  Pedestrian = 1,
+  Cyclist = 2,
+  Moped = 3,
+  Motorcycle = 4,
+  PassengerCar = 5,
+  Bus = 6,
+  LightTruck = 7,
+  HeavyTruck = 8,
+  Trailer = 9,
+  SpecialVehicles = 10,
+  Tram = 11,
+  RoadSideUnit = 15,
+};
+
+/// TimestampIts DE: milliseconds since the ITS epoch (2004-01-01 UTC),
+/// 42-bit range on the wire.
+using TimestampIts = std::uint64_t;
+inline constexpr TimestampIts kTimestampItsMax = 4398046511103ULL;
+
+/// The simulation maps SimTime t=0 to this ITS timestamp (an arbitrary but
+/// fixed instant), so absolute wire timestamps are deterministic.
+inline constexpr TimestampIts kSimEpochItsMs = 600000000000ULL;
+
+[[nodiscard]] constexpr TimestampIts to_timestamp_its(sim::SimTime t) {
+  return kSimEpochItsMs + static_cast<TimestampIts>(t.count_ns() / 1'000'000);
+}
+[[nodiscard]] constexpr sim::SimTime from_timestamp_its(TimestampIts ts) {
+  return sim::SimTime::milliseconds(static_cast<std::int64_t>(ts - kSimEpochItsMs));
+}
+
+/// GenerationDeltaTime DE of the CAM: TimestampIts mod 65536.
+[[nodiscard]] constexpr std::uint16_t generation_delta_time(TimestampIts ts) {
+  return static_cast<std::uint16_t>(ts % 65536);
+}
+
+/// Latitude/Longitude DEs in 0.1 micro-degree; the "unavailable" values
+/// per TS 102 894-2.
+inline constexpr std::int32_t kLatitudeUnavailable = 900000001;
+inline constexpr std::int32_t kLongitudeUnavailable = 1800000001;
+
+/// PosConfidenceEllipse DF.
+struct PositionConfidenceEllipse {
+  std::uint16_t semi_major_cm{4095};   // SemiAxisLength, 4095 = unavailable
+  std::uint16_t semi_minor_cm{4095};
+  std::uint16_t orientation_01deg{3601};  // HeadingValue, 3601 = unavailable
+
+  void encode(asn1::PerEncoder& e) const;
+  static PositionConfidenceEllipse decode(asn1::PerDecoder& d);
+  friend bool operator==(const PositionConfidenceEllipse&, const PositionConfidenceEllipse&) = default;
+};
+
+/// Altitude DF (value in centimetres; 800001 = unavailable).
+struct Altitude {
+  std::int32_t value_cm{800001};
+  std::uint8_t confidence{15};  // AltitudeConfidence, 15 = unavailable
+
+  void encode(asn1::PerEncoder& e) const;
+  static Altitude decode(asn1::PerDecoder& d);
+  friend bool operator==(const Altitude&, const Altitude&) = default;
+};
+
+/// ReferencePosition DF.
+struct ReferencePosition {
+  std::int32_t latitude{kLatitudeUnavailable};    // 0.1 micro-degree
+  std::int32_t longitude{kLongitudeUnavailable};  // 0.1 micro-degree
+  PositionConfidenceEllipse confidence{};
+  Altitude altitude{};
+
+  void encode(asn1::PerEncoder& e) const;
+  static ReferencePosition decode(asn1::PerDecoder& d);
+  friend bool operator==(const ReferencePosition&, const ReferencePosition&) = default;
+};
+
+/// Heading DF (value in 0.1 degree, 3601 = unavailable).
+struct Heading {
+  std::uint16_t value_01deg{3601};
+  std::uint8_t confidence_01deg{127};  // HeadingConfidence, 127 = unavailable
+
+  void encode(asn1::PerEncoder& e) const;
+  static Heading decode(asn1::PerDecoder& d);
+  friend bool operator==(const Heading&, const Heading&) = default;
+};
+
+/// Speed DF (value in 0.01 m/s, 16383 = unavailable).
+struct Speed {
+  std::uint16_t value_cms{16383};
+  std::uint8_t confidence_cms{127};  // SpeedConfidence, 127 = unavailable
+
+  void encode(asn1::PerEncoder& e) const;
+  static Speed decode(asn1::PerDecoder& d);
+  friend bool operator==(const Speed&, const Speed&) = default;
+
+  [[nodiscard]] static Speed from_mps(double mps, double confidence_mps = 0.05);
+  [[nodiscard]] double to_mps() const { return value_cms * 0.01; }
+};
+
+/// ActionID DF: unique identifier of a DENM event.
+struct ActionId {
+  StationId originating_station{0};
+  std::uint16_t sequence_number{0};
+
+  void encode(asn1::PerEncoder& e) const;
+  static ActionId decode(asn1::PerDecoder& d);
+  friend auto operator<=>(const ActionId&, const ActionId&) = default;
+};
+
+/// PathPoint DF (delta position w.r.t. the previous point).
+struct PathPoint {
+  std::int32_t delta_latitude{0};    // 0.1 micro-degree, (-131072..131071)
+  std::int32_t delta_longitude{0};
+  std::int32_t delta_time_10ms{0};   // PathDeltaTime (1..65535), 0 = absent
+
+  void encode(asn1::PerEncoder& e) const;
+  static PathPoint decode(asn1::PerDecoder& d);
+  friend bool operator==(const PathPoint&, const PathPoint&) = default;
+};
+
+/// PathHistory DF: up to 40 points.
+struct PathHistory {
+  std::vector<PathPoint> points;
+
+  void encode(asn1::PerEncoder& e) const;
+  static PathHistory decode(asn1::PerDecoder& d);
+  friend bool operator==(const PathHistory&, const PathHistory&) = default;
+};
+
+void encode_timestamp_its(asn1::PerEncoder& e, TimestampIts ts);
+[[nodiscard]] TimestampIts decode_timestamp_its(asn1::PerDecoder& d);
+
+}  // namespace rst::its

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+#include "rst/asn1/per.hpp"
+#include "rst/its/messages/data_elements.hpp"
+
+namespace rst::its {
+
+/// MessageID DE of the ItsPduHeader.
+enum class MessageId : std::uint8_t {
+  Denm = 1,
+  Cam = 2,
+  Poi = 3,
+  Spat = 4,
+  Map = 5,
+  Ivi = 6,
+  Ev_rsr = 7,
+};
+
+/// ItsPduHeader DF: common header of every ETSI ITS facilities message
+/// (Fig. 2 "Header": protocol version, message type, originating station).
+struct ItsPduHeader {
+  std::uint8_t protocol_version{2};
+  MessageId message_id{MessageId::Cam};
+  StationId station_id{0};
+
+  void encode(asn1::PerEncoder& e) const;
+  static ItsPduHeader decode(asn1::PerDecoder& d);
+  friend bool operator==(const ItsPduHeader&, const ItsPduHeader&) = default;
+};
+
+}  // namespace rst::its

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rst/geo/vec2.hpp"
+
+namespace rst::middleware {
+
+/// Textual renderer for the testbed's geo-referenced state — the stand-in
+/// for OpenC2X's Server/Web Interface, which "represents graphically the
+/// georeferenced information contained in the LDM" (paper §III-D).
+///
+/// Entities are plotted on a character grid; later additions overwrite
+/// earlier ones at the same cell, so draw background (walls, track) first.
+class AsciiMap {
+ public:
+  /// Viewport corners in local metres and the grid resolution.
+  AsciiMap(geo::Vec2 min_corner, geo::Vec2 max_corner, std::size_t columns = 61,
+           std::size_t rows = 25);
+
+  void plot(geo::Vec2 position, char symbol);
+  void plot_line(geo::Vec2 a, geo::Vec2 b, char symbol);
+  /// Adds a legend entry rendered under the grid.
+  void legend(char symbol, const std::string& meaning);
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  [[nodiscard]] bool to_cell(geo::Vec2 p, std::size_t& col, std::size_t& row) const;
+
+  geo::Vec2 min_;
+  geo::Vec2 max_;
+  std::size_t columns_;
+  std::size_t rows_;
+  std::vector<std::string> grid_;
+  std::vector<std::pair<char, std::string>> legend_;
+};
+
+}  // namespace rst::middleware

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rst/dot11p/radio.hpp"
+#include "rst/sim/scheduler.hpp"
+
+namespace rst::middleware {
+
+/// One captured frame.
+struct LoggedFrame {
+  sim::SimTime when{};
+  std::uint64_t src_mac{0};
+  double rssi_dbm{0};
+  std::vector<std::uint8_t> payload;  // GN packet bytes
+
+  friend bool operator==(const LoggedFrame&, const LoggedFrame&) = default;
+};
+
+/// Frame capture (the role tcpdump on the OBU's wireless monitor interface
+/// plays in real 802.11p experimentation): taps one or more radios,
+/// records every received frame with timestamp and RSSI, and serializes
+/// the capture to a compact binary format for offline analysis.
+class FrameLog {
+ public:
+  explicit FrameLog(sim::Scheduler& sched) : sched_{sched} {}
+
+  /// Taps a radio (replaces any previous promiscuous tap on it).
+  void attach(dot11p::Radio& radio);
+
+  [[nodiscard]] const std::vector<LoggedFrame>& frames() const { return frames_; }
+  void clear() { frames_.clear(); }
+
+  /// Summary by decoded GN/BTP content: how many CAMs, DENMs, other.
+  struct Summary {
+    std::size_t total{0};
+    std::size_t cams{0};
+    std::size_t denms{0};
+    std::size_t other{0};
+  };
+  [[nodiscard]] Summary summarize() const;
+
+  /// Binary serialization of the capture (round-trippable via parse()).
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static std::vector<LoggedFrame> parse(const std::vector<std::uint8_t>& data);
+
+ private:
+  sim::Scheduler& sched_;
+  std::vector<LoggedFrame> frames_;
+};
+
+}  // namespace rst::middleware

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rst::middleware {
+
+/// Minimal key=value;key=value body codec used by the simulated HTTP API
+/// (stand-in for the JSON bodies of the OpenC2X web interface).
+class KvBody {
+ public:
+  KvBody() = default;
+  /// Parses "a=1;b=xyz"; unknown/malformed fragments are skipped.
+  static KvBody parse(const std::string& body);
+
+  void set(const std::string& key, const std::string& value);
+  void set_int(const std::string& key, std::int64_t value);
+  void set_double(const std::string& key, double value);
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+  [[nodiscard]] std::optional<std::int64_t> get_int(const std::string& key) const;
+  [[nodiscard]] std::optional<double> get_double(const std::string& key) const;
+
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Lowercase hex encoding used to carry binary DENMs through HTTP bodies.
+[[nodiscard]] std::string hex_encode(const std::vector<std::uint8_t>& data);
+/// Throws std::invalid_argument on odd length or non-hex characters.
+[[nodiscard]] std::vector<std::uint8_t> hex_decode(const std::string& hex);
+
+}  // namespace rst::middleware

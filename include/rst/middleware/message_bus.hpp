@@ -1,0 +1,66 @@
+#pragma once
+
+#include <any>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rst/sim/random.hpp"
+#include "rst/sim/scheduler.hpp"
+
+namespace rst::middleware {
+
+struct MessageBusConfig {
+  sim::SimTime base_latency{sim::SimTime::microseconds(300)};
+  sim::SimTime jitter{sim::SimTime::microseconds(200)};
+};
+
+/// Publish/subscribe message bus modelling ROS topics on the Jetson
+/// (the paper's vehicle pipeline passes camera frames, line coordinates
+/// and steering commands between nodes as ROS topics).
+///
+/// Delivery is asynchronous with a configurable serialization/transport
+/// latency; handlers receive `std::any` payloads (use the typed
+/// subscribe/publish helpers).
+class MessageBus {
+ public:
+  using Config = MessageBusConfig;
+
+  MessageBus(sim::Scheduler& sched, sim::RandomStream rng, Config config = {});
+
+  using Handler = std::function<void(const std::any&)>;
+
+  /// Subscribes a raw handler; returns a subscription id usable for unsubscribe.
+  std::uint64_t subscribe(const std::string& topic, Handler handler);
+  void unsubscribe(const std::string& topic, std::uint64_t id);
+
+  /// Publishes to all current subscribers after a latency draw per subscriber.
+  void publish(const std::string& topic, std::any message);
+
+  template <typename T>
+  std::uint64_t subscribe_to(const std::string& topic, std::function<void(const T&)> handler) {
+    return subscribe(topic, [h = std::move(handler)](const std::any& msg) {
+      if (const T* v = std::any_cast<T>(&msg)) h(*v);
+    });
+  }
+
+  [[nodiscard]] std::size_t subscriber_count(const std::string& topic) const;
+  [[nodiscard]] std::uint64_t published_count() const { return published_; }
+
+ private:
+  struct Subscription {
+    std::uint64_t id;
+    Handler handler;
+  };
+
+  sim::Scheduler& sched_;
+  sim::RandomStream rng_;
+  Config config_;
+  std::map<std::string, std::vector<Subscription>> topics_;
+  std::uint64_t next_id_{1};
+  std::uint64_t published_{0};
+};
+
+}  // namespace rst::middleware

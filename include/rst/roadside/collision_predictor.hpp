@@ -1,0 +1,63 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "rst/geo/vec2.hpp"
+#include "rst/its/facilities/ldm.hpp"
+
+namespace rst::roadside {
+
+/// Closest point of approach of two constant-velocity tracks.
+struct CpaResult {
+  double t_cpa_s{0};   ///< time of closest approach (clamped to >= 0)
+  double d_cpa_m{0};   ///< separation at that time
+};
+
+/// CPA for objects at p1/p2 moving with v1/v2. If the tracks diverge from
+/// the start, t_cpa is 0 and d_cpa the current separation.
+[[nodiscard]] CpaResult closest_point_of_approach(geo::Vec2 p1, geo::Vec2 v1, geo::Vec2 p2,
+                                                  geo::Vec2 v2);
+
+/// One assessed threat between a camera-perceived road user and an
+/// ETSI-capable vehicle known from CAMs.
+struct CollisionThreat {
+  its::StationId station_id{0};
+  double t_cpa_s{0};
+  double d_cpa_m{0};
+  geo::Vec2 predicted_conflict_point{};
+};
+
+
+struct CollisionPredictorConfig {
+  double horizon_s{5.0};
+  double conflict_distance_m{1.5};
+  /// Wide enough to tolerate camera-derived velocity noise at ~5 s horizons.
+/// Ignore pairs whose current separation already exceeds this.
+  double max_pair_distance_m{60.0};
+};
+
+/// Collision assessment the paper's Hazard Advertisement Service performs:
+/// "the Object Detection Service identifies it and contacts the Hazard
+/// Advertisement Service to assess a potential collision from consulting
+/// the LDM." Pairs each perceived object with every LDM vehicle and flags
+/// closest-point-of-approach conflicts inside the horizon.
+class CollisionPredictor {
+ public:
+  using Config = CollisionPredictorConfig;
+
+  explicit CollisionPredictor(Config config = {}) : config_{config} {}
+
+  /// Assesses one perceived object (world position + velocity) against the
+  /// LDM's CAM-known vehicles; returns the most imminent threat, if any.
+  [[nodiscard]] std::optional<CollisionThreat> assess(
+      geo::Vec2 object_position, geo::Vec2 object_velocity,
+      const std::vector<its::LdmVehicleEntry>& vehicles) const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace rst::roadside

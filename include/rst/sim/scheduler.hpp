@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "rst/sim/time.hpp"
+
+namespace rst::sim {
+
+/// Handle to a scheduled event; allows cancellation. Copyable; all copies
+/// refer to the same pending event. A default-constructed handle is inert.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet. Idempotent.
+  void cancel();
+  /// True if the event is still queued (not fired, not cancelled).
+  [[nodiscard]] bool pending() const;
+
+ private:
+  friend class Scheduler;
+  struct State {
+    bool cancelled{false};
+    bool fired{false};
+  };
+  explicit EventHandle(std::shared_ptr<State> s) : state_{std::move(s)} {}
+  std::shared_ptr<State> state_;
+};
+
+/// Deterministic discrete-event scheduler.
+///
+/// Events at equal timestamps fire in scheduling order (FIFO), which makes
+/// whole-testbed runs bit-reproducible for a given seed. All components of
+/// the testbed share one Scheduler; it is the single source of "now".
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `when`; `when` must be >= now().
+  EventHandle schedule_at(SimTime when, Callback cb);
+  /// Schedules `cb` after relative `delay` (>= 0).
+  EventHandle schedule_in(SimTime delay, Callback cb);
+
+  /// Runs events until the queue is empty or `limit` events ran.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t limit = SIZE_MAX);
+
+  /// Runs all events with time <= deadline, then advances now() to
+  /// deadline even if the queue still holds later events.
+  std::size_t run_until(SimTime deadline);
+
+  /// Executes exactly the next pending event (if any). Returns false when
+  /// the queue is empty.
+  bool step();
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    Callback cb;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  SimTime now_{SimTime::zero()};
+  std::uint64_t next_seq_{0};
+  std::uint64_t executed_{0};
+};
+
+}  // namespace rst::sim

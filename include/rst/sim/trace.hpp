@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rst/sim/time.hpp"
+
+namespace rst::sim {
+
+/// A single trace record: what happened, where, when.
+struct TraceRecord {
+  SimTime when;
+  std::string component;
+  std::string message;
+};
+
+/// In-memory event trace shared by all testbed components.
+///
+/// The paper instruments the physical testbed with NTP-synchronised
+/// timestamps at each stage (Fig. 4 steps); the Trace plays the same role
+/// here and is what the experiment harness mines for interval measurements.
+class Trace {
+ public:
+  void record(SimTime when, std::string_view component, std::string_view message);
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+  /// Echo records to stderr as they arrive (useful in examples).
+  void set_echo(bool on) { echo_ = on; }
+
+  /// First record whose component and message both contain the given
+  /// substrings, searching records at or after `from`; nullptr if none.
+  [[nodiscard]] const TraceRecord* find(std::string_view component_substr,
+                                        std::string_view message_substr,
+                                        SimTime from = SimTime::zero()) const;
+
+  /// All records matching the filter (see find()).
+  [[nodiscard]] std::vector<const TraceRecord*> find_all(std::string_view component_substr,
+                                                         std::string_view message_substr) const;
+
+  /// CSV rendering (time_ms,component,message) for offline analysis;
+  /// quotes and commas in messages are escaped per RFC 4180.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<TraceRecord> records_;
+  bool echo_{false};
+};
+
+}  // namespace rst::sim

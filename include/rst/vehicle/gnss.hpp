@@ -1,0 +1,60 @@
+#pragma once
+
+#include "rst/geo/vec2.hpp"
+#include "rst/sim/random.hpp"
+#include "rst/sim/scheduler.hpp"
+#include "rst/vehicle/dynamics.hpp"
+
+namespace rst::vehicle {
+
+struct GnssConfig {
+  sim::SimTime fix_period{sim::SimTime::milliseconds(100)};  // 10 Hz receiver
+  /// White noise per fix.
+  double noise_sigma_m{0.35};
+  /// Slowly wandering bias (multipath/atmospheric), random walk per fix.
+  double bias_walk_sigma_m{0.02};
+  double initial_bias_sigma_m{0.8};
+  /// Bias magnitude is softly bounded by pulling it back towards zero.
+  double bias_decay{0.01};
+};
+
+/// GNSS receiver for the OBU's position source: the true pose corrupted by
+/// a random-walk bias plus per-fix noise, sampled at the receiver rate.
+/// Everything the ETSI stack advertises (CAM reference positions, GN
+/// position vectors) can be routed through this instead of ground truth.
+class GnssReceiver {
+ public:
+  using Config = GnssConfig;
+
+  GnssReceiver(sim::Scheduler& sched, const VehicleDynamics& vehicle, sim::RandomStream rng,
+               Config config = {});
+  ~GnssReceiver();
+  GnssReceiver(const GnssReceiver&) = delete;
+  GnssReceiver& operator=(const GnssReceiver&) = delete;
+
+  void start();
+  void stop();
+
+  /// Latest fix (the value an application polling the receiver sees).
+  [[nodiscard]] geo::Vec2 position() const { return last_fix_; }
+  [[nodiscard]] sim::SimTime last_fix_time() const { return last_fix_time_; }
+  [[nodiscard]] std::uint64_t fixes() const { return fixes_; }
+  /// Current total error vs ground truth (for instrumentation/tests).
+  [[nodiscard]] double error_m() const { return geo::distance(last_fix_, vehicle_.position()); }
+
+ private:
+  void tick();
+
+  sim::Scheduler& sched_;
+  const VehicleDynamics& vehicle_;
+  sim::RandomStream rng_;
+  Config config_;
+  geo::Vec2 bias_{};
+  geo::Vec2 last_fix_{};
+  sim::SimTime last_fix_time_{};
+  bool running_{false};
+  sim::EventHandle timer_;
+  std::uint64_t fixes_{0};
+};
+
+}  // namespace rst::vehicle

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <string>
+
+#include "rst/middleware/message_bus.hpp"
+#include "rst/sim/random.hpp"
+#include "rst/vehicle/dynamics.hpp"
+
+namespace rst::vehicle {
+
+/// One IMU sample (the MPU-class part on the paper's Fig. 5 architecture).
+struct ImuSample {
+  double longitudinal_accel_mps2{0};
+  double yaw_rate_radps{0};
+  sim::SimTime stamp{};
+};
+
+struct ImuConfig {
+  sim::SimTime sample_period{sim::SimTime::milliseconds(10)};  // 100 Hz
+  double accel_noise_sigma{0.05};
+  double gyro_noise_sigma{0.01};
+  /// Constant biases drawn once per power-up.
+  double accel_bias_sigma{0.03};
+  double gyro_bias_sigma{0.005};
+};
+
+/// Samples the vehicle's true dynamics with bias + noise and publishes
+/// `ImuSample`s on the bus topic `imu`.
+class Imu {
+ public:
+  using Config = ImuConfig;
+
+  Imu(sim::Scheduler& sched, middleware::MessageBus& bus, const VehicleDynamics& vehicle,
+      sim::RandomStream rng, Config config = {});
+  ~Imu();
+  Imu(const Imu&) = delete;
+  Imu& operator=(const Imu&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] std::uint64_t samples_published() const { return samples_; }
+  [[nodiscard]] double accel_bias() const { return accel_bias_; }
+
+ private:
+  void tick();
+
+  sim::Scheduler& sched_;
+  middleware::MessageBus& bus_;
+  const VehicleDynamics& vehicle_;
+  sim::RandomStream rng_;
+  Config config_;
+  double accel_bias_{0};
+  double gyro_bias_{0};
+  double last_heading_{0};
+  sim::SimTime last_tick_{};
+  bool has_last_{false};
+  bool running_{false};
+  sim::EventHandle timer_;
+  std::uint64_t samples_{0};
+};
+
+struct SpeedEstimatorConfig {
+  /// Blend factor towards the odometry fix on every odometry message.
+  double odometry_gain{0.25};
+};
+
+/// Dead-reckoning speed estimator: integrates IMU acceleration between the
+/// (slower) odometry fixes and corrects towards each fix — a minimal
+/// complementary filter like the one a Jetson-side localization node runs.
+class SpeedEstimator {
+ public:
+  using Config = SpeedEstimatorConfig;
+
+  SpeedEstimator(sim::Scheduler& sched, middleware::MessageBus& bus, Config config = {});
+
+  [[nodiscard]] double speed_mps() const { return speed_; }
+  [[nodiscard]] std::uint64_t imu_updates() const { return imu_updates_; }
+  [[nodiscard]] std::uint64_t odometry_updates() const { return odometry_updates_; }
+
+ private:
+  sim::Scheduler& sched_;
+  Config config_;
+  double speed_{0};
+  sim::SimTime last_imu_{};
+  bool has_imu_{false};
+  std::uint64_t imu_updates_{0};
+  std::uint64_t odometry_updates_{0};
+};
+
+}  // namespace rst::vehicle

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <string>
+
+#include "rst/its/messages/denm.hpp"
+#include "rst/middleware/http.hpp"
+#include "rst/middleware/message_bus.hpp"
+#include "rst/middleware/ntp.hpp"
+#include "rst/sim/trace.hpp"
+
+namespace rst::vehicle {
+
+struct MessageHandlerConfig {
+  sim::SimTime poll_period{sim::SimTime::milliseconds(50)};
+  std::string obu_hostname{"obu"};
+  /// Local handling time between response arrival and the bus publish.
+  sim::SimTime handling_latency{sim::SimTime::microseconds(600)};
+  sim::SimTime handling_jitter{sim::SimTime::microseconds(400)};
+};
+
+/// The paper's OBU-polling script: "a Python script running at the Jetson
+/// TX2 is constantly communicating with the OpenC2X HTTP API hosted at the
+/// OBU, through POST requests sent to /request_denm" (§III-D2).
+///
+/// Polls at a fixed period; when a DENM comes back, it is interpreted and,
+/// for hazard-class cause codes, an emergency stop is published to the
+/// Motion Planner. The polling period dominates the paper's step 4->5
+/// interval and is ablated in bench_ablation_polling.
+class MessageHandler {
+ public:
+  using Config = MessageHandlerConfig;
+
+  MessageHandler(sim::Scheduler& sched, middleware::MessageBus& bus, middleware::HttpHost& host,
+                 sim::RandomStream rng, Config config = {}, sim::Trace* trace = nullptr,
+                 std::string name = "msg_handler");
+  ~MessageHandler();
+  MessageHandler(const MessageHandler&) = delete;
+  MessageHandler& operator=(const MessageHandler&) = delete;
+
+  void start();
+  void stop();
+
+  /// True when the DENM's cause code demands an emergency stop.
+  [[nodiscard]] static bool is_emergency(const its::Denm& denm);
+
+  struct Stats {
+    std::uint64_t polls{0};
+    std::uint64_t denms_fetched{0};
+    std::uint64_t emergencies{0};
+    std::uint64_t decode_errors{0};
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void poll();
+  void on_response(const middleware::HttpResponse& resp);
+
+  sim::Scheduler& sched_;
+  middleware::MessageBus& bus_;
+  middleware::HttpHost& host_;
+  sim::RandomStream rng_;
+  Config config_;
+  sim::Trace* trace_;
+  std::string name_;
+  bool running_{false};
+  sim::EventHandle poll_timer_;
+  Stats stats_;
+};
+
+}  // namespace rst::vehicle

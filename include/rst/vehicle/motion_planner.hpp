@@ -1,0 +1,78 @@
+#pragma once
+
+#include <string>
+
+#include "rst/middleware/message_bus.hpp"
+#include "rst/sim/trace.hpp"
+#include "rst/vehicle/line_detection.hpp"
+#include "rst/vehicle/pid.hpp"
+
+namespace rst::vehicle {
+
+/// Command from the Motion Planner to the Control module (the ROS topic
+/// between the Jetson's planner node and the Teensy bridge).
+struct DriveCommand {
+  double steering_rad{0};
+  double throttle01{0};
+  /// True triggers the ESC power interruption (emergency stop).
+  bool power_cut{false};
+};
+
+/// Odometry sample published by the control module.
+struct Odometry {
+  double speed_mps{0};
+  geo::Vec2 position{};
+  double heading_rad{0};
+};
+
+struct MotionPlannerConfig {
+  PidController::Gains steering_gains{.kp = 2.2, .ki = 0.0, .kd = 0.25};
+  double max_steer_rad{0.35};
+  /// Heading-error blend: effective error = offset + k_heading * sin(err).
+  double heading_gain_m{0.35};
+  double target_speed_mps{1.2};
+  /// Simple proportional throttle to hold target speed.
+  double speed_kp{1.5};
+  /// Feed-forward throttle near the rolling-resistance equilibrium.
+  double cruise_throttle{0.05};
+};
+
+/// The vehicle's Motion Planner: line following via a PID steering loop
+/// plus the network-aided emergency-stop path of the paper — when a DENM
+/// arrives (topic `v2x_emergency`), the planner latches a stop and sends a
+/// power-cut DriveCommand to the control module.
+class MotionPlanner {
+ public:
+  using Config = MotionPlannerConfig;
+
+  MotionPlanner(sim::Scheduler& sched, middleware::MessageBus& bus, Config config = {},
+                sim::Trace* trace = nullptr, std::string name = "planner");
+
+  /// Latches an emergency stop (also reachable via the `v2x_emergency`
+  /// bus topic). Idempotent.
+  void emergency_stop(const std::string& reason);
+
+  [[nodiscard]] bool stopped() const { return emergency_latched_; }
+  [[nodiscard]] std::uint64_t commands_sent() const { return commands_; }
+
+  /// Releases the latch (new experiment run).
+  void reset();
+
+ private:
+  void on_line(const LineDetection& det);
+  void on_odometry(const Odometry& odo);
+
+  sim::Scheduler& sched_;
+  middleware::MessageBus& bus_;
+  Config config_;
+  sim::Trace* trace_;
+  std::string name_;
+  PidController steering_pid_;
+  double current_speed_{0};
+  sim::SimTime last_line_time_{};
+  bool has_last_line_{false};
+  bool emergency_latched_{false};
+  std::uint64_t commands_{0};
+};
+
+}  // namespace rst::vehicle

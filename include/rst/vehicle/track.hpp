@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "rst/geo/vec2.hpp"
+
+namespace rst::vehicle {
+
+/// The taped line on the laboratory floor that the robot follows,
+/// modelled as a polyline with arc-length parameterisation.
+class Track {
+ public:
+  explicit Track(std::vector<geo::Vec2> waypoints);
+
+  /// Straight segment from a to b.
+  [[nodiscard]] static Track straight(geo::Vec2 a, geo::Vec2 b);
+  /// Axis-aligned rectangle circuit (closed loop), counter-clockwise,
+  /// with corner cut resolution `corner_points` per 90-degree turn.
+  [[nodiscard]] static Track loop(geo::Vec2 center, double width, double height,
+                                  int corner_points = 4);
+
+  [[nodiscard]] double length() const { return cumulative_.back(); }
+  [[nodiscard]] const std::vector<geo::Vec2>& waypoints() const { return points_; }
+
+  /// Point at arc length s (clamped to [0, length]).
+  [[nodiscard]] geo::Vec2 point_at(double s) const;
+  /// Tangent heading (ITS convention, clockwise from north) at arc length s.
+  [[nodiscard]] double heading_at(double s) const;
+
+  struct Projection {
+    double arc_length{0};      ///< s of the closest point
+    double lateral_offset{0};  ///< signed; >0 when the pose is left of the line
+    geo::Vec2 closest{};       ///< closest point on the line
+  };
+  /// Projects a position onto the track.
+  [[nodiscard]] Projection project(geo::Vec2 p) const;
+
+ private:
+  std::vector<geo::Vec2> points_;
+  std::vector<double> cumulative_;  // cumulative arc length at each waypoint
+};
+
+}  // namespace rst::vehicle

@@ -1,0 +1,41 @@
+#include "rst/asn1/bitbuffer.hpp"
+
+namespace rst::asn1 {
+
+void BitWriter::write_bit(bool b) {
+  const std::size_t byte_index = bit_count_ / 8;
+  if (byte_index == bytes_.size()) bytes_.push_back(0);
+  if (b) bytes_[byte_index] |= static_cast<std::uint8_t>(0x80u >> (bit_count_ % 8));
+  ++bit_count_;
+}
+
+void BitWriter::write_bits(std::uint64_t value, unsigned nbits) {
+  if (nbits > 64) throw std::invalid_argument{"BitWriter::write_bits: nbits > 64"};
+  for (unsigned i = nbits; i-- > 0;) write_bit((value >> i) & 1u);
+}
+
+void BitWriter::write_bytes(const std::uint8_t* data, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) write_bits(data[i], 8);
+}
+
+std::vector<std::uint8_t> BitWriter::finish() const { return bytes_; }
+
+bool BitReader::read_bit() {
+  if (pos_ >= size_bits_) throw DecodeError{"BitReader: read past end"};
+  const bool b = (data_[pos_ / 8] >> (7 - pos_ % 8)) & 1u;
+  ++pos_;
+  return b;
+}
+
+std::uint64_t BitReader::read_bits(unsigned nbits) {
+  if (nbits > 64) throw DecodeError{"BitReader: nbits > 64"};
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < nbits; ++i) v = (v << 1) | (read_bit() ? 1u : 0u);
+  return v;
+}
+
+void BitReader::read_bytes(std::uint8_t* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<std::uint8_t>(read_bits(8));
+}
+
+}  // namespace rst::asn1

@@ -1,0 +1,56 @@
+#include "rst/cellular/cellular_link.hpp"
+
+#include <stdexcept>
+
+namespace rst::cellular {
+
+CellularConfig CellularConfig::urllc() {
+  CellularConfig c;
+  c.uplink_mean = sim::SimTime::milliseconds(1);
+  c.uplink_sigma = sim::SimTime::microseconds(300);
+  c.core_mean = sim::SimTime::milliseconds(1);
+  c.core_sigma = sim::SimTime::microseconds(200);
+  c.downlink_mean = sim::SimTime::milliseconds(1);
+  c.downlink_sigma = sim::SimTime::microseconds(300);
+  c.loss_probability = 1e-5;
+  return c;
+}
+
+CellularNetwork::CellularNetwork(sim::Scheduler& sched, sim::RandomStream rng, CellularConfig config)
+    : sched_{sched}, rng_{rng.child("cellular")}, config_{config} {}
+
+CellularEndpoint& CellularNetwork::create_endpoint(const std::string& name) {
+  auto [it, inserted] =
+      endpoints_.emplace(name, std::unique_ptr<CellularEndpoint>(new CellularEndpoint{*this, name}));
+  if (!inserted) throw std::invalid_argument{"CellularNetwork: duplicate endpoint " + name};
+  return *it->second;
+}
+
+CellularEndpoint* CellularNetwork::endpoint(const std::string& name) {
+  const auto it = endpoints_.find(name);
+  return it == endpoints_.end() ? nullptr : it->second.get();
+}
+
+void CellularNetwork::send(const std::string& from, const std::string& to,
+                           std::vector<std::uint8_t> payload) {
+  ++stats_.sent;
+  if (rng_.bernoulli(config_.loss_probability)) {
+    ++stats_.lost;
+    return;
+  }
+  const auto component = [this](sim::SimTime mean, sim::SimTime sigma) {
+    return rng_.normal_time(mean, sigma, config_.component_floor);
+  };
+  const auto latency = component(config_.uplink_mean, config_.uplink_sigma) +
+                       component(config_.core_mean, config_.core_sigma) +
+                       component(config_.downlink_mean, config_.downlink_sigma);
+  stats_.latency_ms.add(latency.to_milliseconds());
+  sched_.schedule_in(latency, [this, from, to, payload = std::move(payload)] {
+    const auto it = endpoints_.find(to);
+    if (it == endpoints_.end() || !it->second->receive_) return;
+    ++stats_.delivered;
+    it->second->receive_(payload, from);
+  });
+}
+
+}  // namespace rst::cellular

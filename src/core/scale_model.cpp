@@ -1,0 +1,48 @@
+#include "rst/core/scale_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rst::core {
+
+namespace {
+constexpr double kGravity = 9.81;
+constexpr double kAirDensity = 1.225;
+}  // namespace
+
+double full_size_braking_distance_m(const FullSizeVehicle& vehicle, double speed_mps,
+                                    double reaction_s) {
+  if (speed_mps < 0) throw std::invalid_argument{"full_size_braking_distance_m: negative speed"};
+  double distance = speed_mps * reaction_s;
+  double v = speed_mps;
+  const double dt = 1e-3;
+  const double brake_decel = vehicle.friction_mu * vehicle.brake_efficiency * kGravity;
+  const double drag_term = 0.5 * kAirDensity * vehicle.drag_coefficient * vehicle.frontal_area_m2 /
+                           vehicle.mass_kg;
+  while (v > 0) {
+    const double decel = brake_decel + drag_term * v * v;
+    const double v_next = std::max(0.0, v - decel * dt);
+    distance += (v + v_next) / 2 * dt;
+    v = v_next;
+  }
+  return distance;
+}
+
+double froude_equivalent_speed_mps(double model_speed_mps, double scale) {
+  if (scale <= 0) throw std::invalid_argument{"froude_equivalent_speed_mps: non-positive scale"};
+  return model_speed_mps * std::sqrt(scale);
+}
+
+double froude_equivalent_distance_m(double model_distance_m, double scale) {
+  if (scale <= 0) throw std::invalid_argument{"froude_equivalent_distance_m: non-positive scale"};
+  return model_distance_m * scale;
+}
+
+double implied_deceleration_mps2(double speed_mps, double braking_distance_m) {
+  if (braking_distance_m <= 0) {
+    throw std::invalid_argument{"implied_deceleration_mps2: non-positive distance"};
+  }
+  return speed_mps * speed_mps / (2.0 * braking_distance_m);
+}
+
+}  // namespace rst::core

@@ -1,0 +1,97 @@
+#include "rst/dot11p/channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rst::dot11p {
+
+namespace {
+constexpr double kSpeedOfLight = 299792458.0;
+constexpr double kMinDistance = 0.1;  // clamp to avoid singularity at d=0
+}  // namespace
+
+FreeSpaceModel::FreeSpaceModel(double frequency_hz)
+    : fixed_term_db_{20.0 * std::log10(4.0 * M_PI * frequency_hz / kSpeedOfLight)} {}
+
+double FreeSpaceModel::loss_db(geo::Vec2 tx, geo::Vec2 rx) const {
+  const double d = std::max(geo::distance(tx, rx), kMinDistance);
+  return fixed_term_db_ + 20.0 * std::log10(d);
+}
+
+LogDistanceModel::LogDistanceModel(double exponent, double reference_loss_db, double reference_distance_m)
+    : exponent_{exponent}, reference_loss_db_{reference_loss_db}, reference_distance_m_{reference_distance_m} {}
+
+LogDistanceModel LogDistanceModel::its_g5(double exponent) {
+  // Free-space loss at 1 m, 5.9 GHz = 47.86 dB.
+  const double ref = 20.0 * std::log10(4.0 * M_PI * 5.9e9 / kSpeedOfLight);
+  return LogDistanceModel{exponent, ref, 1.0};
+}
+
+double LogDistanceModel::loss_db(geo::Vec2 tx, geo::Vec2 rx) const {
+  const double d = std::max(geo::distance(tx, rx), kMinDistance);
+  return reference_loss_db_ + 10.0 * exponent_ * std::log10(d / reference_distance_m_);
+}
+
+DualSlopeModel::DualSlopeModel(double near_exponent, double far_exponent, double breakpoint_m,
+                               double reference_loss_db, double reference_distance_m)
+    : near_exponent_{near_exponent},
+      far_exponent_{far_exponent},
+      breakpoint_m_{breakpoint_m},
+      reference_loss_db_{reference_loss_db},
+      reference_distance_m_{reference_distance_m} {}
+
+DualSlopeModel DualSlopeModel::its_g5(double near_exponent, double far_exponent,
+                                      double breakpoint_m) {
+  const double ref = 20.0 * std::log10(4.0 * M_PI * 5.9e9 / kSpeedOfLight);
+  return DualSlopeModel{near_exponent, far_exponent, breakpoint_m, ref, 1.0};
+}
+
+double DualSlopeModel::loss_db(geo::Vec2 tx, geo::Vec2 rx) const {
+  const double d = std::max(geo::distance(tx, rx), kMinDistance);
+  if (d <= breakpoint_m_) {
+    return reference_loss_db_ + 10.0 * near_exponent_ * std::log10(d / reference_distance_m_);
+  }
+  // Continuous at the breakpoint: near-slope up to it, far-slope beyond.
+  return reference_loss_db_ +
+         10.0 * near_exponent_ * std::log10(breakpoint_m_ / reference_distance_m_) +
+         10.0 * far_exponent_ * std::log10(d / breakpoint_m_);
+}
+
+bool segments_intersect(geo::Vec2 a, geo::Vec2 b, geo::Vec2 c, geo::Vec2 d) {
+  const auto orient = [](geo::Vec2 p, geo::Vec2 q, geo::Vec2 r) {
+    const double v = (q - p).cross(r - p);
+    return v > 0 ? 1 : (v < 0 ? -1 : 0);
+  };
+  const int o1 = orient(a, b, c);
+  const int o2 = orient(a, b, d);
+  const int o3 = orient(c, d, a);
+  const int o4 = orient(c, d, b);
+  if (o1 != o2 && o3 != o4) return true;
+  const auto on_segment = [](geo::Vec2 p, geo::Vec2 q, geo::Vec2 r) {
+    return std::min(p.x, r.x) <= q.x && q.x <= std::max(p.x, r.x) &&
+           std::min(p.y, r.y) <= q.y && q.y <= std::max(p.y, r.y);
+  };
+  if (o1 == 0 && on_segment(a, c, b)) return true;
+  if (o2 == 0 && on_segment(a, d, b)) return true;
+  if (o3 == 0 && on_segment(c, a, d)) return true;
+  if (o4 == 0 && on_segment(c, b, d)) return true;
+  return false;
+}
+
+ObstacleShadowingModel::ObstacleShadowingModel(std::unique_ptr<PathLossModel> base, std::vector<Wall> walls)
+    : base_{std::move(base)}, walls_{std::move(walls)} {}
+
+bool ObstacleShadowingModel::is_nlos(geo::Vec2 tx, geo::Vec2 rx) const {
+  return std::any_of(walls_.begin(), walls_.end(),
+                     [&](const Wall& w) { return segments_intersect(tx, rx, w.a, w.b); });
+}
+
+double ObstacleShadowingModel::loss_db(geo::Vec2 tx, geo::Vec2 rx) const {
+  double loss = base_->loss_db(tx, rx);
+  for (const auto& w : walls_) {
+    if (segments_intersect(tx, rx, w.a, w.b)) loss += w.obstruction_loss_db;
+  }
+  return loss;
+}
+
+}  // namespace rst::dot11p

@@ -1,0 +1,97 @@
+#include "rst/dot11p/medium.hpp"
+
+#include <algorithm>
+
+#include "rst/dot11p/radio.hpp"
+
+namespace rst::dot11p {
+
+Medium::Medium(sim::Scheduler& sched, sim::RandomStream rng, ChannelModel channel)
+    : sched_{sched},
+      shadow_rng_{rng.child("shadowing")},
+      per_rng_{rng.child("per")},
+      channel_{std::move(channel)} {}
+
+void Medium::attach(Radio* radio) { radios_.push_back(radio); }
+
+void Medium::detach(Radio* radio) {
+  std::erase(radios_, radio);
+  for (auto& t : transmissions_) t->rx_power_dbm.erase(radio);
+}
+
+double Medium::mean_rx_power_dbm(const Radio& tx, const Radio& rx) const {
+  const double loss = channel_.path_loss->loss_db(tx.position(), rx.position());
+  return tx.config().tx_power_dbm + tx.config().antenna_gain_dbi + rx.config().antenna_gain_dbi - loss;
+}
+
+void Medium::begin_transmission(Radio* tx, Frame frame, std::size_t psdu_bytes) {
+  // Prune transmissions that can no longer overlap anything new.
+  std::erase_if(transmissions_, [&](const auto& t) { return t->end <= sched_.now(); });
+
+  auto t = std::make_shared<Transmission>();
+  t->tx = tx;
+  t->frame = std::move(frame);
+  t->psdu_bytes = psdu_bytes;
+  t->start = sched_.now();
+  t->end = sched_.now() + frame_airtime(psdu_bytes, tx->config().mcs);
+
+  for (Radio* rx : radios_) {
+    if (rx == tx) continue;
+    double p = mean_rx_power_dbm(*tx, *rx);
+    if (channel_.shadowing_sigma_db > 0) {
+      p += shadow_rng_.normal(0.0, channel_.shadowing_sigma_db);
+    }
+    if (channel_.fading == FadingModel::Nakagami) {
+      // Unit-mean gamma power gain with shape m.
+      const double gain = shadow_rng_.gamma(channel_.nakagami_m, 1.0 / channel_.nakagami_m);
+      p += mw_to_dbm(std::max(gain, 1e-9));
+    }
+    t->rx_power_dbm.emplace(rx, p);
+    if (p >= rx->config().cs_threshold_dbm) rx->on_cs_busy_delta(+1);
+  }
+
+  transmissions_.push_back(t);
+  ++stats_.frames_transmitted;
+  sched_.schedule_at(t->end, [this, t] { finish_transmission(t); });
+}
+
+double Medium::interference_mw(const Transmission& t, Radio* rx) const {
+  double sum = 0.0;
+  for (const auto& other : transmissions_) {
+    if (other.get() == &t) continue;
+    if (other->start >= t.end || other->end <= t.start) continue;  // no overlap
+    const auto it = other->rx_power_dbm.find(rx);
+    if (it != other->rx_power_dbm.end()) sum += dbm_to_mw(it->second);
+  }
+  return sum;
+}
+
+void Medium::finish_transmission(const std::shared_ptr<Transmission>& t) {
+  t->tx->on_tx_complete();
+
+  const double noise_mw = dbm_to_mw(noise_floor_dbm(0.0));
+  for (auto& [rx, power_dbm] : t->rx_power_dbm) {
+    if (power_dbm >= rx->config().cs_threshold_dbm) rx->on_cs_busy_delta(-1);
+
+    if (power_dbm < rx->config().rx_sensitivity_dbm) {
+      ++stats_.dropped_below_sensitivity;
+      continue;
+    }
+    if (rx->was_transmitting_during(t->start, t->end)) {
+      ++stats_.dropped_half_duplex;
+      continue;
+    }
+    const double rx_noise_mw = noise_mw * dbm_to_mw(rx->config().noise_figure_db);
+    const double sinr_mw = dbm_to_mw(power_dbm) / (rx_noise_mw + interference_mw(*t, rx));
+    const double sinr_db = mw_to_dbm(sinr_mw);
+    const double per = packet_error_rate(sinr_db, t->psdu_bytes, t->tx->config().mcs);
+    if (per_rng_.bernoulli(per)) {
+      ++stats_.dropped_error;
+      continue;
+    }
+    ++stats_.deliveries;
+    rx->deliver(t->frame, RxInfo{power_dbm, sinr_db, sched_.now(), t->frame.src_mac});
+  }
+}
+
+}  // namespace rst::dot11p

@@ -1,0 +1,38 @@
+#include "rst/geo/geodesy.hpp"
+
+#include <cmath>
+
+namespace rst::geo {
+
+namespace {
+constexpr double kEarthRadiusM = 6371008.8;  // IUGG mean radius
+constexpr double deg2rad(double d) { return d * M_PI / 180.0; }
+}  // namespace
+
+double haversine_m(GeoPosition a, GeoPosition b) {
+  const double phi1 = deg2rad(a.latitude_deg);
+  const double phi2 = deg2rad(b.latitude_deg);
+  const double dphi = phi2 - phi1;
+  const double dlam = deg2rad(b.longitude_deg - a.longitude_deg);
+  const double s = std::sin(dphi / 2);
+  const double t = std::sin(dlam / 2);
+  const double h = s * s + std::cos(phi1) * std::cos(phi2) * t * t;
+  return 2.0 * kEarthRadiusM * std::asin(std::sqrt(h));
+}
+
+LocalFrame::LocalFrame(GeoPosition origin)
+    : origin_{origin},
+      metres_per_deg_lat_{kEarthRadiusM * M_PI / 180.0},
+      metres_per_deg_lon_{kEarthRadiusM * M_PI / 180.0 * std::cos(deg2rad(origin.latitude_deg))} {}
+
+Vec2 LocalFrame::to_local(GeoPosition p) const {
+  return {(p.longitude_deg - origin_.longitude_deg) * metres_per_deg_lon_,
+          (p.latitude_deg - origin_.latitude_deg) * metres_per_deg_lat_};
+}
+
+GeoPosition LocalFrame::to_geo(Vec2 p) const {
+  return {origin_.latitude_deg + p.y / metres_per_deg_lat_,
+          origin_.longitude_deg + p.x / metres_per_deg_lon_};
+}
+
+}  // namespace rst::geo

@@ -1,0 +1,158 @@
+#include "rst/its/facilities/ldm.hpp"
+
+#include <cstdio>
+
+namespace rst::its {
+
+Ldm::Ldm(sim::Scheduler& sched, const geo::LocalFrame& frame) : sched_{sched}, frame_{frame} {}
+
+std::uint64_t Ldm::subscribe(Subscriber subscriber) {
+  const std::uint64_t id = next_subscriber_id_++;
+  subscribers_.emplace_back(id, std::move(subscriber));
+  return id;
+}
+
+void Ldm::unsubscribe(std::uint64_t id) {
+  std::erase_if(subscribers_, [&](const auto& entry) { return entry.first == id; });
+}
+
+void Ldm::notify(const LdmUpdate& update) {
+  for (const auto& [id, subscriber] : subscribers_) subscriber(update);
+}
+
+void Ldm::update_from_cam(const Cam& cam) {
+  garbage_collect();
+  auto& e = vehicles_[cam.header.station_id];
+  e.station_id = cam.header.station_id;
+  e.station_type = cam.basic.station_type;
+  const geo::GeoPosition gp{geo::from_its_tenth_microdegree(cam.basic.reference_position.latitude),
+                            geo::from_its_tenth_microdegree(cam.basic.reference_position.longitude)};
+  e.position = frame_.to_local(gp);
+  e.speed_mps = cam.high_frequency.speed.to_mps();
+  e.heading_rad = cam.high_frequency.heading.value_01deg <= 3600
+                      ? cam.high_frequency.heading.value_01deg * 0.1 * M_PI / 180.0
+                      : 0.0;
+  e.last_update = sched_.now();
+  ++e.cam_count;
+  notify({.kind = LdmUpdateKind::Vehicle, .station = cam.header.station_id});
+}
+
+void Ldm::update_from_denm(const Denm& denm) {
+  garbage_collect();
+  const auto key = std::make_pair(denm.management.action_id.originating_station,
+                                  denm.management.action_id.sequence_number);
+  if (denm.is_termination()) {
+    if (events_.erase(key) > 0) {
+      notify({.kind = LdmUpdateKind::EventRemoved, .action = denm.management.action_id});
+    }
+    return;
+  }
+  auto& e = events_[key];
+  e.action_id = denm.management.action_id;
+  e.denm = denm;
+  const geo::GeoPosition gp{geo::from_its_tenth_microdegree(denm.management.event_position.latitude),
+                            geo::from_its_tenth_microdegree(denm.management.event_position.longitude)};
+  e.event_position = frame_.to_local(gp);
+  e.received = sched_.now();
+  e.expires = sched_.now() + sim::SimTime::seconds(denm.management.validity_duration_s);
+  notify({.kind = LdmUpdateKind::Event, .action = denm.management.action_id});
+}
+
+void Ldm::update_perceived_object(PerceivedObject object) {
+  garbage_collect();
+  object.observed = sched_.now();
+  const std::uint32_t id = object.object_id;
+  objects_[id] = std::move(object);
+  notify({.kind = LdmUpdateKind::PerceivedObject, .object = id});
+}
+
+void Ldm::garbage_collect() {
+  const sim::SimTime now = sched_.now();
+  std::erase_if(vehicles_, [&](const auto& kv) { return now - kv.second.last_update > vehicle_lifetime_; });
+  std::erase_if(events_, [&](const auto& kv) { return now > kv.second.expires; });
+  std::erase_if(objects_, [&](const auto& kv) { return now - kv.second.observed > object_lifetime_; });
+}
+
+std::optional<LdmVehicleEntry> Ldm::vehicle(StationId id) const {
+  const auto it = vehicles_.find(id);
+  if (it == vehicles_.end()) return std::nullopt;
+  if (sched_.now() - it->second.last_update > vehicle_lifetime_) return std::nullopt;
+  return it->second;
+}
+
+std::vector<LdmVehicleEntry> Ldm::vehicles() const {
+  std::vector<LdmVehicleEntry> out;
+  for (const auto& [id, e] : vehicles_) {
+    if (sched_.now() - e.last_update <= vehicle_lifetime_) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<LdmVehicleEntry> Ldm::vehicles_in(const geo::GeoArea& area) const {
+  std::vector<LdmVehicleEntry> out;
+  for (const auto& e : vehicles()) {
+    if (area.contains(e.position)) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<LdmEventEntry> Ldm::events() const {
+  std::vector<LdmEventEntry> out;
+  for (const auto& [key, e] : events_) {
+    if (sched_.now() <= e.expires) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<LdmEventEntry> Ldm::events_in(const geo::GeoArea& area) const {
+  std::vector<LdmEventEntry> out;
+  for (const auto& e : events()) {
+    if (area.contains(e.event_position)) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<PerceivedObject> Ldm::perceived_objects() const {
+  std::vector<PerceivedObject> out;
+  for (const auto& [id, o] : objects_) {
+    if (sched_.now() - o.observed <= object_lifetime_) out.push_back(o);
+  }
+  return out;
+}
+
+std::optional<PerceivedObject> Ldm::perceived_object(std::uint32_t id) const {
+  const auto it = objects_.find(id);
+  if (it == objects_.end()) return std::nullopt;
+  if (sched_.now() - it->second.observed > object_lifetime_) return std::nullopt;
+  return it->second;
+}
+
+std::string Ldm::dump() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line, "LDM @ %s\n", sched_.now().to_string().c_str());
+  out += line;
+  for (const auto& e : vehicles()) {
+    std::snprintf(line, sizeof line,
+                  "  station %u type=%u pos=(%.2f, %.2f) v=%.2f m/s heading=%.1f deg cams=%llu\n",
+                  e.station_id, static_cast<unsigned>(e.station_type), e.position.x, e.position.y,
+                  e.speed_mps, e.heading_rad * 180.0 / M_PI,
+                  static_cast<unsigned long long>(e.cam_count));
+    out += line;
+  }
+  for (const auto& e : events()) {
+    const auto cause = e.denm.situation ? e.denm.situation->event_type.cause_code : 0;
+    std::snprintf(line, sizeof line, "  event %u/%u cause=%u (%s) pos=(%.2f, %.2f)\n",
+                  e.action_id.originating_station, e.action_id.sequence_number, cause,
+                  std::string{describe_cause(cause)}.c_str(), e.event_position.x, e.event_position.y);
+    out += line;
+  }
+  for (const auto& o : perceived_objects()) {
+    std::snprintf(line, sizeof line, "  object %u '%s' pos=(%.2f, %.2f) conf=%.2f\n", o.object_id,
+                  o.classification.c_str(), o.position.x, o.position.y, o.confidence);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace rst::its

@@ -1,0 +1,116 @@
+#include "rst/its/messages/cause_code.hpp"
+
+namespace rst::its {
+
+void EventType::encode(asn1::PerEncoder& e) const {
+  e.constrained(cause_code, 0, 255);
+  e.constrained(sub_cause_code, 0, 255);
+}
+
+EventType EventType::decode(asn1::PerDecoder& d) {
+  EventType v;
+  v.cause_code = static_cast<std::uint8_t>(d.constrained(0, 255));
+  v.sub_cause_code = static_cast<std::uint8_t>(d.constrained(0, 255));
+  return v;
+}
+
+const std::vector<CauseCodeEntry>& cause_code_registry() {
+  static const std::vector<CauseCodeEntry> kRegistry = {
+      {0, "Reserved", 0, "Unavailable"},
+      {1, "Traffic condition", 0, "Unavailable"},
+      {1, "Traffic condition", 1, "Increased volume of traffic"},
+      {1, "Traffic condition", 2, "Traffic jam slowly increasing"},
+      {1, "Traffic condition", 3, "Traffic jam increasing"},
+      {1, "Traffic condition", 4, "Traffic jam strongly increasing"},
+      {1, "Traffic condition", 5, "Traffic stationary"},
+      {1, "Traffic condition", 6, "Traffic jam slightly decreasing"},
+      {2, "Accident", 0, "Unavailable"},
+      {2, "Accident", 1, "Multi-vehicle accident"},
+      {2, "Accident", 2, "Heavy accident"},
+      {2, "Accident", 3, "Accident involving lorry"},
+      {2, "Accident", 4, "Accident involving bus"},
+      {2, "Accident", 5, "Accident involving hazardous materials"},
+      {2, "Accident", 6, "Accident on opposite lane"},
+      {2, "Accident", 7, "Unsecured accident"},
+      {3, "Roadworks", 0, "Unavailable"},
+      {3, "Roadworks", 1, "Major roadworks"},
+      {3, "Roadworks", 2, "Road marking work"},
+      {3, "Roadworks", 3, "Slow moving road maintenance"},
+      {3, "Roadworks", 4, "Short-term stationary roadworks"},
+      {3, "Roadworks", 5, "Street cleaning"},
+      {3, "Roadworks", 6, "Winter service"},
+      {6, "Adverse weather - Adhesion", 0, "Unavailable"},
+      // Paper Table I rows:
+      {9, "Hazardous location - Surface condition", 0, "Unavailable"},
+      {9, "Hazardous location - Surface condition", 1, "Rockfalls (TISA tec109 cl. 9.18)"},
+      {9, "Hazardous location - Surface condition", 2, "Earthquake damage"},
+      {9, "Hazardous location - Surface condition", 3, "Sewer collapse"},
+      {9, "Hazardous location - Surface condition", 4, "Subsidence"},
+      {9, "Hazardous location - Surface condition", 5, "Snow drifts"},
+      {9, "Hazardous location - Surface condition", 6, "Storm damage"},
+      {9, "Hazardous location - Surface condition", 7, "Burst pipe"},
+      {9, "Hazardous location - Surface condition", 8, "Volcano eruption"},
+      {9, "Hazardous location - Surface condition", 9, "Falling ice"},
+      {10, "Hazardous location - Obstacle on the road", 0, "Unavailable"},
+      {10, "Hazardous location - Obstacle on the road", 1, "Shed load (TISA tec110 cl. 9.19)"},
+      {10, "Hazardous location - Obstacle on the road", 2, "Parts of vehicles"},
+      {10, "Hazardous location - Obstacle on the road", 3, "Parts of tyres"},
+      {10, "Hazardous location - Obstacle on the road", 4, "Big objects"},
+      {10, "Hazardous location - Obstacle on the road", 5, "Fallen trees"},
+      {10, "Hazardous location - Obstacle on the road", 6, "Hub caps"},
+      {10, "Hazardous location - Obstacle on the road", 7, "Waiting vehicles"},
+      {11, "Hazardous location - Animal on the road", 0, "Unavailable"},
+      {12, "Human presence on the road", 0, "Unavailable"},
+      {14, "Wrong way driving", 0, "Unavailable"},
+      {15, "Rescue and recovery work in progress", 0, "Unavailable"},
+      {17, "Adverse weather - Extreme weather", 0, "Unavailable"},
+      {18, "Adverse weather - Visibility", 0, "Unavailable"},
+      {19, "Adverse weather - Precipitation", 0, "Unavailable"},
+      {26, "Slow vehicle", 0, "Unavailable"},
+      {27, "Dangerous end of queue", 0, "Unavailable"},
+      {91, "Vehicle breakdown", 0, "Unavailable"},
+      {92, "Post crash", 0, "Unavailable"},
+      {93, "Human problem", 0, "Unavailable"},
+      {94, "Stationary vehicle", 0, "Unavailable"},
+      {94, "Stationary vehicle", 1, "Human problem"},
+      {94, "Stationary vehicle", 2, "Vehicle breakdown"},
+      {94, "Stationary vehicle", 3, "Post crash"},
+      {94, "Stationary vehicle", 4, "Public transport stop"},
+      {94, "Stationary vehicle", 5, "Carrying dangerous goods"},
+      {95, "Emergency vehicle approaching", 0, "Unavailable"},
+      {96, "Hazardous location - Dangerous curve", 0, "Unavailable"},
+      {97, "Collision risk", 0, "Unavailable"},
+      {97, "Collision risk", 1, "Longitudinal collision risk"},
+      {97, "Collision risk", 2, "Crossing collision risk"},
+      {97, "Collision risk", 3, "Lateral collision risk"},
+      {97, "Collision risk", 4, "Collision risk involving vulnerable road-user"},
+      {98, "Signal violation", 0, "Unavailable"},
+      {99, "Dangerous situation", 0, "Unavailable"},
+      {99, "Dangerous situation", 1, "Emergency electronic brake lights"},
+      {99, "Dangerous situation", 2, "Pre-crash system activated"},
+      {99, "Dangerous situation", 3, "ESP (Electronic Stability Program) activated"},
+      {99, "Dangerous situation", 4, "ABS (Anti-lock braking system) activated"},
+      {99, "Dangerous situation", 5, "AEB (Automatic Emergency Braking) activated"},
+      {99, "Dangerous situation", 6, "Brake warning activated"},
+      {99, "Dangerous situation", 7, "Collision risk warning activated"},
+  };
+  return kRegistry;
+}
+
+std::string_view describe_cause(std::uint8_t cause_code) {
+  for (const auto& e : cause_code_registry()) {
+    if (e.cause_code == cause_code) return e.cause_description;
+  }
+  return "unknown";
+}
+
+std::string_view describe_sub_cause(std::uint8_t cause_code, std::uint8_t sub_cause_code) {
+  for (const auto& e : cause_code_registry()) {
+    if (e.cause_code == cause_code && e.sub_cause_code == sub_cause_code) {
+      return e.sub_cause_description;
+    }
+  }
+  return "unknown";
+}
+
+}  // namespace rst::its

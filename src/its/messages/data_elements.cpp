@@ -1,0 +1,132 @@
+#include "rst/its/messages/data_elements.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rst::its {
+
+void PositionConfidenceEllipse::encode(asn1::PerEncoder& e) const {
+  e.constrained(semi_major_cm, 0, 4095);
+  e.constrained(semi_minor_cm, 0, 4095);
+  e.constrained(orientation_01deg, 0, 3601);
+}
+
+PositionConfidenceEllipse PositionConfidenceEllipse::decode(asn1::PerDecoder& d) {
+  PositionConfidenceEllipse v;
+  v.semi_major_cm = static_cast<std::uint16_t>(d.constrained(0, 4095));
+  v.semi_minor_cm = static_cast<std::uint16_t>(d.constrained(0, 4095));
+  v.orientation_01deg = static_cast<std::uint16_t>(d.constrained(0, 3601));
+  return v;
+}
+
+void Altitude::encode(asn1::PerEncoder& e) const {
+  e.constrained(value_cm, -100000, 800001);
+  e.constrained(confidence, 0, 15);
+}
+
+Altitude Altitude::decode(asn1::PerDecoder& d) {
+  Altitude v;
+  v.value_cm = static_cast<std::int32_t>(d.constrained(-100000, 800001));
+  v.confidence = static_cast<std::uint8_t>(d.constrained(0, 15));
+  return v;
+}
+
+void ReferencePosition::encode(asn1::PerEncoder& e) const {
+  e.constrained(latitude, -900000000, 900000001);
+  e.constrained(longitude, -1800000000, 1800000001);
+  confidence.encode(e);
+  altitude.encode(e);
+}
+
+ReferencePosition ReferencePosition::decode(asn1::PerDecoder& d) {
+  ReferencePosition v;
+  v.latitude = static_cast<std::int32_t>(d.constrained(-900000000, 900000001));
+  v.longitude = static_cast<std::int32_t>(d.constrained(-1800000000, 1800000001));
+  v.confidence = PositionConfidenceEllipse::decode(d);
+  v.altitude = Altitude::decode(d);
+  return v;
+}
+
+void Heading::encode(asn1::PerEncoder& e) const {
+  e.constrained(value_01deg, 0, 3601);
+  e.constrained(confidence_01deg, 1, 127);
+}
+
+Heading Heading::decode(asn1::PerDecoder& d) {
+  Heading v;
+  v.value_01deg = static_cast<std::uint16_t>(d.constrained(0, 3601));
+  v.confidence_01deg = static_cast<std::uint8_t>(d.constrained(1, 127));
+  return v;
+}
+
+void Speed::encode(asn1::PerEncoder& e) const {
+  e.constrained(value_cms, 0, 16383);
+  e.constrained(confidence_cms, 1, 127);
+}
+
+Speed Speed::decode(asn1::PerDecoder& d) {
+  Speed v;
+  v.value_cms = static_cast<std::uint16_t>(d.constrained(0, 16383));
+  v.confidence_cms = static_cast<std::uint8_t>(d.constrained(1, 127));
+  return v;
+}
+
+Speed Speed::from_mps(double mps, double confidence_mps) {
+  Speed s;
+  const double cms = std::clamp(mps * 100.0, 0.0, 16382.0);
+  s.value_cms = static_cast<std::uint16_t>(cms + 0.5);
+  const double conf = std::clamp(confidence_mps * 100.0, 1.0, 126.0);
+  s.confidence_cms = static_cast<std::uint8_t>(conf + 0.5);
+  return s;
+}
+
+void ActionId::encode(asn1::PerEncoder& e) const {
+  e.constrained(static_cast<std::int64_t>(originating_station), 0, 4294967295LL);
+  e.constrained(sequence_number, 0, 65535);
+}
+
+ActionId ActionId::decode(asn1::PerDecoder& d) {
+  ActionId v;
+  v.originating_station = static_cast<StationId>(d.constrained(0, 4294967295LL));
+  v.sequence_number = static_cast<std::uint16_t>(d.constrained(0, 65535));
+  return v;
+}
+
+void PathPoint::encode(asn1::PerEncoder& e) const {
+  e.constrained(delta_latitude, -131072, 131071);
+  e.constrained(delta_longitude, -131072, 131071);
+  const bool has_dt = delta_time_10ms != 0;
+  e.boolean(has_dt);
+  if (has_dt) e.constrained(delta_time_10ms, 1, 65535);
+}
+
+PathPoint PathPoint::decode(asn1::PerDecoder& d) {
+  PathPoint v;
+  v.delta_latitude = static_cast<std::int32_t>(d.constrained(-131072, 131071));
+  v.delta_longitude = static_cast<std::int32_t>(d.constrained(-131072, 131071));
+  if (d.boolean()) v.delta_time_10ms = static_cast<std::int32_t>(d.constrained(1, 65535));
+  return v;
+}
+
+void PathHistory::encode(asn1::PerEncoder& e) const {
+  if (points.size() > 40) throw std::invalid_argument{"PathHistory: > 40 points"};
+  e.constrained(static_cast<std::int64_t>(points.size()), 0, 40);
+  for (const auto& p : points) p.encode(e);
+}
+
+PathHistory PathHistory::decode(asn1::PerDecoder& d) {
+  PathHistory v;
+  const auto n = static_cast<std::size_t>(d.constrained(0, 40));
+  v.points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.points.push_back(PathPoint::decode(d));
+  return v;
+}
+
+void encode_timestamp_its(asn1::PerEncoder& e, TimestampIts ts) {
+  if (ts > kTimestampItsMax) throw std::invalid_argument{"TimestampIts out of 42-bit range"};
+  e.bits(ts, 42);
+}
+
+TimestampIts decode_timestamp_its(asn1::PerDecoder& d) { return d.bits(42); }
+
+}  // namespace rst::its

@@ -1,0 +1,25 @@
+#include "rst/its/network/btp.hpp"
+
+namespace rst::its {
+
+std::vector<std::uint8_t> BtpHeader::prepend_to(const std::vector<std::uint8_t>& payload) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(kSize + payload.size());
+  out.push_back(static_cast<std::uint8_t>(destination_port >> 8));
+  out.push_back(static_cast<std::uint8_t>(destination_port & 0xff));
+  out.push_back(static_cast<std::uint8_t>(destination_port_info >> 8));
+  out.push_back(static_cast<std::uint8_t>(destination_port_info & 0xff));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+BtpHeader::Parsed BtpHeader::parse(const std::vector<std::uint8_t>& pdu) {
+  if (pdu.size() < kSize) throw asn1::DecodeError{"BtpHeader::parse: truncated PDU"};
+  Parsed p;
+  p.header.destination_port = static_cast<std::uint16_t>((pdu[0] << 8) | pdu[1]);
+  p.header.destination_port_info = static_cast<std::uint16_t>((pdu[2] << 8) | pdu[3]);
+  p.payload.assign(pdu.begin() + kSize, pdu.end());
+  return p;
+}
+
+}  // namespace rst::its

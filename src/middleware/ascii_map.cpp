@@ -1,0 +1,65 @@
+#include "rst/middleware/ascii_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rst::middleware {
+
+AsciiMap::AsciiMap(geo::Vec2 min_corner, geo::Vec2 max_corner, std::size_t columns,
+                   std::size_t rows)
+    : min_{min_corner}, max_{max_corner}, columns_{columns}, rows_{rows} {
+  if (!(max_.x > min_.x) || !(max_.y > min_.y) || columns_ < 2 || rows_ < 2) {
+    throw std::invalid_argument{"AsciiMap: degenerate viewport"};
+  }
+  grid_.assign(rows_, std::string(columns_, ' '));
+}
+
+bool AsciiMap::to_cell(geo::Vec2 p, std::size_t& col, std::size_t& row) const {
+  if (p.x < min_.x || p.x > max_.x || p.y < min_.y || p.y > max_.y) return false;
+  const double fx = (p.x - min_.x) / (max_.x - min_.x);
+  const double fy = (p.y - min_.y) / (max_.y - min_.y);
+  col = std::min(columns_ - 1, static_cast<std::size_t>(fx * static_cast<double>(columns_)));
+  // Row 0 is the top of the rendering = maximum y (north up).
+  row = std::min(rows_ - 1, static_cast<std::size_t>((1.0 - fy) * static_cast<double>(rows_)));
+  return true;
+}
+
+void AsciiMap::plot(geo::Vec2 position, char symbol) {
+  std::size_t col = 0;
+  std::size_t row = 0;
+  if (to_cell(position, col, row)) grid_[row][col] = symbol;
+}
+
+void AsciiMap::plot_line(geo::Vec2 a, geo::Vec2 b, char symbol) {
+  const double length = geo::distance(a, b);
+  const double cell = std::min((max_.x - min_.x) / static_cast<double>(columns_),
+                               (max_.y - min_.y) / static_cast<double>(rows_));
+  const int steps = std::max(1, static_cast<int>(std::ceil(length / (cell * 0.5))));
+  for (int i = 0; i <= steps; ++i) {
+    plot(a + (b - a) * (static_cast<double>(i) / steps), symbol);
+  }
+}
+
+void AsciiMap::legend(char symbol, const std::string& meaning) {
+  legend_.emplace_back(symbol, meaning);
+}
+
+std::string AsciiMap::render() const {
+  std::string out;
+  out += '+' + std::string(columns_, '-') + "+\n";
+  for (const auto& row : grid_) {
+    out += '|';
+    out += row;
+    out += "|\n";
+  }
+  out += '+' + std::string(columns_, '-') + "+\n";
+  for (const auto& [symbol, meaning] : legend_) {
+    out += "  ";
+    out += symbol;
+    out += " = " + meaning + "\n";
+  }
+  return out;
+}
+
+}  // namespace rst::middleware

@@ -1,0 +1,73 @@
+#include "rst/middleware/frame_log.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rst/asn1/per.hpp"
+#include "rst/its/network/btp.hpp"
+#include "rst/its/network/geonet.hpp"
+
+namespace rst::middleware {
+
+void FrameLog::attach(dot11p::Radio& radio) {
+  radio.set_promiscuous_tap([this](const dot11p::Frame& f, const dot11p::RxInfo& info) {
+    frames_.push_back({info.rx_time, info.src_mac, info.rssi_dbm, f.payload});
+  });
+}
+
+FrameLog::Summary FrameLog::summarize() const {
+  Summary s;
+  s.total = frames_.size();
+  for (const auto& frame : frames_) {
+    try {
+      const auto pkt = its::GnPacket::decode(frame.payload);
+      if (pkt.payload.size() < its::BtpHeader::kSize) {
+        ++s.other;
+        continue;
+      }
+      const auto parsed = its::BtpHeader::parse(pkt.payload);
+      if (parsed.header.destination_port == its::kBtpPortCam) {
+        ++s.cams;
+      } else if (parsed.header.destination_port == its::kBtpPortDenm) {
+        ++s.denms;
+      } else {
+        ++s.other;
+      }
+    } catch (const asn1::DecodeError&) {
+      ++s.other;
+    }
+  }
+  return s;
+}
+
+std::vector<std::uint8_t> FrameLog::serialize() const {
+  asn1::PerEncoder e;
+  e.bits(frames_.size(), 32);
+  for (const auto& frame : frames_) {
+    e.bits(static_cast<std::uint64_t>(frame.when.count_ns()), 64);
+    e.bits(frame.src_mac, 64);
+    // RSSI rounded to 0.1 dB around a -200 dB floor.
+    const auto rssi_q = std::llround((frame.rssi_dbm + 200.0) * 10.0);
+    e.constrained(std::clamp<std::int64_t>(rssi_q, 0, 4000), 0, 4000);
+    e.octet_string(frame.payload);
+  }
+  return e.finish();
+}
+
+std::vector<LoggedFrame> FrameLog::parse(const std::vector<std::uint8_t>& data) {
+  asn1::PerDecoder d{data};
+  const auto count = d.bits(32);
+  std::vector<LoggedFrame> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    LoggedFrame frame;
+    frame.when = sim::SimTime::nanoseconds(static_cast<std::int64_t>(d.bits(64)));
+    frame.src_mac = d.bits(64);
+    frame.rssi_dbm = static_cast<double>(d.constrained(0, 4000)) / 10.0 - 200.0;
+    frame.payload = d.octet_string();
+    out.push_back(std::move(frame));
+  }
+  return out;
+}
+
+}  // namespace rst::middleware

@@ -1,0 +1,55 @@
+#include "rst/middleware/http.hpp"
+
+namespace rst::middleware {
+
+HttpLan::HttpLan(sim::Scheduler& sched, sim::RandomStream rng, Config config)
+    : sched_{sched}, rng_{rng.child("http")}, config_{config} {}
+
+void HttpLan::attach(HttpHost& host) { hosts_[host.hostname()] = &host; }
+
+void HttpLan::detach(const std::string& hostname) { hosts_.erase(hostname); }
+
+void HttpLan::request(const std::string& hostname, HttpRequest req, ResponseCallback cb) {
+  ++requests_;
+  if (config_.loss_probability > 0 && rng_.bernoulli(config_.loss_probability)) {
+    sched_.schedule_in(config_.loss_timeout, [cb] { cb(HttpResponse{0, {}}); });
+    return;
+  }
+  const auto leg = [this] {
+    return config_.one_way_latency + rng_.uniform_time(sim::SimTime::zero(), config_.one_way_jitter);
+  };
+  const auto processing = config_.server_processing +
+                          rng_.uniform_time(sim::SimTime::zero(), config_.server_processing_jitter);
+  const auto uplink = leg();
+  const auto downlink = leg();
+
+  sched_.schedule_in(uplink + processing, [this, hostname, req = std::move(req), cb, downlink] {
+    const auto it = hosts_.find(hostname);
+    HttpResponse resp = it == hosts_.end() ? HttpResponse{404, "no such host"}
+                                           : it->second->dispatch(req);
+    sched_.schedule_in(downlink, [cb, resp = std::move(resp)] { cb(resp); });
+  });
+}
+
+HttpHost::HttpHost(HttpLan& lan, std::string hostname) : lan_{lan}, hostname_{std::move(hostname)} {
+  lan_.attach(*this);
+}
+
+HttpHost::~HttpHost() { lan_.detach(hostname_); }
+
+void HttpHost::handle(const std::string& path, Handler handler) {
+  handlers_[path] = std::move(handler);
+}
+
+void HttpHost::post(const std::string& hostname, const std::string& path, std::string body,
+                    HttpLan::ResponseCallback cb) {
+  lan_.request(hostname, HttpRequest{"POST", path, std::move(body)}, std::move(cb));
+}
+
+HttpResponse HttpHost::dispatch(const HttpRequest& req) const {
+  const auto it = handlers_.find(req.path);
+  if (it == handlers_.end()) return {404, "no handler for " + req.path};
+  return it->second(req);
+}
+
+}  // namespace rst::middleware

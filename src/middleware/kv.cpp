@@ -1,0 +1,100 @@
+#include "rst/middleware/kv.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace rst::middleware {
+
+KvBody KvBody::parse(const std::string& body) {
+  KvBody kv;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t end = body.find(';', pos);
+    if (end == std::string::npos) end = body.size();
+    const std::string fragment = body.substr(pos, end - pos);
+    const std::size_t eq = fragment.find('=');
+    if (eq != std::string::npos && eq > 0) {
+      kv.values_[fragment.substr(0, eq)] = fragment.substr(eq + 1);
+    }
+    pos = end + 1;
+  }
+  return kv;
+}
+
+void KvBody::set(const std::string& key, const std::string& value) { values_[key] = value; }
+
+void KvBody::set_int(const std::string& key, std::int64_t value) {
+  values_[key] = std::to_string(value);
+}
+
+void KvBody::set_double(const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  values_[key] = buf;
+}
+
+std::optional<std::string> KvBody::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::int64_t> KvBody::get_int(const std::string& key) const {
+  const auto v = get(key);
+  if (!v) return std::nullopt;
+  try {
+    return std::stoll(*v);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<double> KvBody::get_double(const std::string& key) const {
+  const auto v = get(key);
+  if (!v) return std::nullopt;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::string KvBody::serialize() const {
+  std::string out;
+  for (const auto& [k, v] : values_) {
+    if (!out.empty()) out += ';';
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+std::string hex_encode(const std::vector<std::uint8_t>& data) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xf]);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> hex_decode(const std::string& hex) {
+  if (hex.size() % 2 != 0) throw std::invalid_argument{"hex_decode: odd length"};
+  const auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    throw std::invalid_argument{"hex_decode: bad character"};
+  };
+  std::vector<std::uint8_t> out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>((nibble(hex[i]) << 4) | nibble(hex[i + 1])));
+  }
+  return out;
+}
+
+}  // namespace rst::middleware

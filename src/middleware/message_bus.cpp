@@ -1,0 +1,39 @@
+#include "rst/middleware/message_bus.hpp"
+
+#include <algorithm>
+
+namespace rst::middleware {
+
+MessageBus::MessageBus(sim::Scheduler& sched, sim::RandomStream rng, Config config)
+    : sched_{sched}, rng_{rng.child("bus")}, config_{config} {}
+
+std::uint64_t MessageBus::subscribe(const std::string& topic, Handler handler) {
+  const std::uint64_t id = next_id_++;
+  topics_[topic].push_back({id, std::move(handler)});
+  return id;
+}
+
+void MessageBus::unsubscribe(const std::string& topic, std::uint64_t id) {
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) return;
+  std::erase_if(it->second, [&](const Subscription& s) { return s.id == id; });
+}
+
+void MessageBus::publish(const std::string& topic, std::any message) {
+  ++published_;
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) return;
+  auto shared = std::make_shared<std::any>(std::move(message));
+  for (const auto& sub : it->second) {
+    const auto latency =
+        config_.base_latency + rng_.uniform_time(sim::SimTime::zero(), config_.jitter);
+    sched_.schedule_in(latency, [handler = sub.handler, shared] { handler(*shared); });
+  }
+}
+
+std::size_t MessageBus::subscriber_count(const std::string& topic) const {
+  const auto it = topics_.find(topic);
+  return it == topics_.end() ? 0 : it->second.size();
+}
+
+}  // namespace rst::middleware

@@ -1,0 +1,39 @@
+#include "rst/roadside/camera.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rst::roadside {
+
+RoadsideCamera::RoadsideCamera(sim::Scheduler& sched, Config config)
+    : sched_{sched}, config_{config} {}
+
+void RoadsideCamera::add_object(CameraObject object) { objects_.push_back(std::move(object)); }
+
+void RoadsideCamera::remove_object(std::uint32_t id) {
+  std::erase_if(objects_, [&](const CameraObject& o) { return o.id == id; });
+}
+
+CameraFrame RoadsideCamera::capture() {
+  CameraFrame frame;
+  frame.capture_time = sched_.now();
+  frame.frame_number = ++frame_counter_;
+  for (const auto& obj : objects_) {
+    const geo::Vec2 rel = obj.position() - config_.position;
+    const double distance = rel.norm();
+    if (distance > config_.max_range_m || distance < 1e-6) continue;
+    const double bearing =
+        std::remainder(geo::heading_from_vector(rel) - config_.facing_rad, 2.0 * M_PI);
+    if (std::abs(bearing) > config_.fov_half_angle_rad) continue;
+    const geo::Vec2 target = obj.position();
+    const bool occluded =
+        std::any_of(walls_.begin(), walls_.end(), [&](const dot11p::Wall& w) {
+          return dot11p::segments_intersect(config_.position, target, w.a, w.b);
+        });
+    if (occluded) continue;
+    frame.objects.push_back({obj.id, distance, bearing, obj.presentation});
+  }
+  return frame;
+}
+
+}  // namespace rst::roadside

@@ -1,0 +1,46 @@
+#include "rst/roadside/collision_predictor.hpp"
+
+#include <cmath>
+
+namespace rst::roadside {
+
+CpaResult closest_point_of_approach(geo::Vec2 p1, geo::Vec2 v1, geo::Vec2 p2, geo::Vec2 v2) {
+  const geo::Vec2 dp = p2 - p1;
+  const geo::Vec2 dv = v2 - v1;
+  const double dv2 = dv.norm2();
+  CpaResult out;
+  if (dv2 < 1e-12) {
+    out.t_cpa_s = 0;
+    out.d_cpa_m = dp.norm();
+    return out;
+  }
+  out.t_cpa_s = std::max(0.0, -dp.dot(dv) / dv2);
+  out.d_cpa_m = (dp + dv * out.t_cpa_s).norm();
+  return out;
+}
+
+std::optional<CollisionThreat> CollisionPredictor::assess(
+    geo::Vec2 object_position, geo::Vec2 object_velocity,
+    const std::vector<its::LdmVehicleEntry>& vehicles) const {
+  std::optional<CollisionThreat> best;
+  for (const auto& vehicle : vehicles) {
+    if (geo::distance(vehicle.position, object_position) > config_.max_pair_distance_m) continue;
+    const geo::Vec2 vehicle_velocity =
+        geo::vector_from_heading(vehicle.heading_rad) * vehicle.speed_mps;
+    const CpaResult cpa = closest_point_of_approach(object_position, object_velocity,
+                                                    vehicle.position, vehicle_velocity);
+    if (cpa.t_cpa_s > config_.horizon_s) continue;
+    if (cpa.d_cpa_m > config_.conflict_distance_m) continue;
+    if (!best || cpa.t_cpa_s < best->t_cpa_s) {
+      CollisionThreat threat;
+      threat.station_id = vehicle.station_id;
+      threat.t_cpa_s = cpa.t_cpa_s;
+      threat.d_cpa_m = cpa.d_cpa_m;
+      threat.predicted_conflict_point = object_position + object_velocity * cpa.t_cpa_s;
+      best = threat;
+    }
+  }
+  return best;
+}
+
+}  // namespace rst::roadside

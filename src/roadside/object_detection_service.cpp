@@ -1,0 +1,95 @@
+#include "rst/roadside/object_detection_service.hpp"
+
+namespace rst::roadside {
+
+ObjectDetectionService::ObjectDetectionService(sim::Scheduler& sched, middleware::MessageBus& bus,
+                                               RoadsideCamera& camera, YoloSimulator& yolo,
+                                               sim::RandomStream rng, Config config,
+                                               sim::Trace* trace, std::string name)
+    : sched_{sched},
+      bus_{bus},
+      camera_{camera},
+      yolo_{yolo},
+      rng_{rng.child("od_service")},
+      config_{config},
+      trace_{trace},
+      name_{std::move(name)},
+      tracker_{config.tracker},
+      associator_{config.associator} {}
+
+ObjectDetectionService::~ObjectDetectionService() { loop_timer_.cancel(); }
+
+void ObjectDetectionService::start() {
+  if (running_) return;
+  running_ = true;
+  started_at_ = sched_.now();
+  // Random initial phase: the detection loop is not synchronised to the
+  // experiment start.
+  loop_timer_ = sched_.schedule_in(
+      rng_.uniform_time(sim::SimTime::zero(), config_.processing_period), [this] { process_frame(); });
+}
+
+void ObjectDetectionService::stop() {
+  running_ = false;
+  loop_timer_.cancel();
+}
+
+double ObjectDetectionService::effective_fps() const {
+  const double elapsed = (sched_.now() - started_at_).to_seconds();
+  return elapsed > 0 ? static_cast<double>(frames_) / elapsed : 0.0;
+}
+
+void ObjectDetectionService::process_frame() {
+  if (!running_) return;
+  ++frames_;
+  const CameraFrame frame = camera_.capture();
+  auto detections = yolo_.detect(frame);
+
+  const auto inference =
+      rng_.normal_time(config_.inference_mean, config_.inference_sigma, config_.inference_min);
+  sched_.schedule_in(inference, [this, frame, detections = std::move(detections)]() mutable {
+    if (config_.anonymize_detections) {
+      // Strip the simulator identities and re-derive track ids the way a
+      // real pipeline must: geometrically, frame to frame.
+      const geo::Vec2 cam_pos = camera_.config().position;
+      const double facing = camera_.config().facing_rad;
+      std::vector<geo::Vec2> positions;
+      positions.reserve(detections.size());
+      for (const auto& det : detections) {
+        positions.push_back(cam_pos + geo::vector_from_heading(facing + det.bearing_rad) *
+                                          det.estimated_distance_m);
+      }
+      const auto ids = associator_.associate(positions, frame.capture_time);
+      for (std::size_t i = 0; i < detections.size(); ++i) {
+        detections[i].object_id = ids[i];
+      }
+    }
+    DetectionBatch batch;
+    batch.frame_number = frame.frame_number;
+    batch.capture_time = frame.capture_time;
+    batch.output_time = sched_.now();
+    for (const auto& det : detections) {
+      TrackedDetection tracked;
+      tracked.detection = det;
+      tracked.capture_time = frame.capture_time;
+      tracked.output_time = sched_.now();
+      const RangeEstimate est =
+          tracker_.update(det.object_id, det.estimated_distance_m, frame.capture_time);
+      tracked.tracked_range_m = est.range_m;
+      // The rate needs a couple of updates before it means anything.
+      tracked.range_rate_mps = est.updates >= 3 ? est.range_rate_mps : 0.0;
+      batch.detections.push_back(std::move(tracked));
+    }
+    if (trace_ && !batch.detections.empty()) {
+      trace_->record(sched_.now(), name_,
+                     "YOLO output: " + std::to_string(batch.detections.size()) +
+                         " object(s), nearest at " +
+                         std::to_string(batch.detections.front().detection.estimated_distance_m) + " m");
+    }
+    bus_.publish("detections", batch);
+  });
+
+  loop_timer_ = sched_.schedule_in(config_.processing_period, [this] { process_frame(); });
+}
+
+}  // namespace rst::roadside

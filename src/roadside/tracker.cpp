@@ -1,0 +1,47 @@
+#include "rst/roadside/tracker.hpp"
+
+namespace rst::roadside {
+
+RangeEstimate RangeTracker::update(std::uint32_t object_id, double measured_range_m,
+                                   sim::SimTime now) {
+  auto it = tracks_.find(object_id);
+  if (it != tracks_.end() && now - it->second.stamp > config_.track_timeout) {
+    tracks_.erase(it);
+    it = tracks_.end();
+  }
+  if (it == tracks_.end()) {
+    RangeEstimate fresh;
+    fresh.range_m = measured_range_m;
+    fresh.range_rate_mps = 0;
+    fresh.stamp = now;
+    fresh.updates = 1;
+    tracks_[object_id] = fresh;
+    return fresh;
+  }
+
+  RangeEstimate& est = it->second;
+  const double dt = (now - est.stamp).to_seconds();
+  if (dt <= 0) return est;
+  // Predict.
+  const double predicted = est.range_m + est.range_rate_mps * dt;
+  const double residual = measured_range_m - predicted;
+  // Correct.
+  est.range_m = predicted + config_.alpha * residual;
+  est.range_rate_mps += config_.beta / dt * residual;
+  est.stamp = now;
+  ++est.updates;
+  return est;
+}
+
+std::optional<RangeEstimate> RangeTracker::predict(std::uint32_t object_id,
+                                                   sim::SimTime now) const {
+  const auto it = tracks_.find(object_id);
+  if (it == tracks_.end()) return std::nullopt;
+  if (now - it->second.stamp > config_.track_timeout) return std::nullopt;
+  RangeEstimate out = it->second;
+  out.range_m += out.range_rate_mps * (now - out.stamp).to_seconds();
+  out.stamp = now;
+  return out;
+}
+
+}  // namespace rst::roadside

@@ -1,0 +1,74 @@
+#include "rst/sim/scheduler.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace rst::sim {
+
+std::string SimTime::to_string() const {
+  char buf[64];
+  const double ms = to_milliseconds();
+  std::snprintf(buf, sizeof buf, "%.3fms", ms);
+  return buf;
+}
+
+void EventHandle::cancel() {
+  if (state_) state_->cancelled = true;
+}
+
+bool EventHandle::pending() const {
+  return state_ && !state_->cancelled && !state_->fired;
+}
+
+EventHandle Scheduler::schedule_at(SimTime when, Callback cb) {
+  if (when < now_) throw std::invalid_argument{"Scheduler::schedule_at: time in the past"};
+  auto state = std::make_shared<EventHandle::State>();
+  queue_.push(Entry{when, next_seq_++, std::move(cb), state});
+  return EventHandle{std::move(state)};
+}
+
+EventHandle Scheduler::schedule_in(SimTime delay, Callback cb) {
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; move out via const_cast on the known
+    // unique top entry, then pop — standard idiom to avoid copying the
+    // callback state.
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    if (entry.state->cancelled) continue;
+    now_ = entry.when;
+    entry.state->fired = true;
+    ++executed_;
+    entry.cb();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Scheduler::run(std::size_t limit) {
+  std::size_t n = 0;
+  while (n < limit && step()) ++n;
+  return n;
+}
+
+std::size_t Scheduler::run_until(SimTime deadline) {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    // Skip cancelled entries without advancing time.
+    if (queue_.top().state->cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().when > deadline) break;
+    step();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace rst::sim

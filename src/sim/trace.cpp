@@ -1,0 +1,63 @@
+#include "rst/sim/trace.hpp"
+
+namespace rst::sim {
+
+void Trace::record(SimTime when, std::string_view component, std::string_view message) {
+  if (echo_) {
+    std::fprintf(stderr, "[%12.3f ms] %-28.*s %.*s\n", when.to_milliseconds(),
+                 static_cast<int>(component.size()), component.data(),
+                 static_cast<int>(message.size()), message.data());
+  }
+  records_.push_back({when, std::string{component}, std::string{message}});
+}
+
+const TraceRecord* Trace::find(std::string_view component_substr, std::string_view message_substr,
+                               SimTime from) const {
+  for (const auto& r : records_) {
+    if (r.when < from) continue;
+    if (r.component.find(component_substr) == std::string::npos) continue;
+    if (r.message.find(message_substr) == std::string::npos) continue;
+    return &r;
+  }
+  return nullptr;
+}
+
+namespace {
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Trace::to_csv() const {
+  std::string out = "time_ms,component,message\n";
+  char buf[64];
+  for (const auto& r : records_) {
+    std::snprintf(buf, sizeof buf, "%.6f,", r.when.to_milliseconds());
+    out += buf;
+    out += csv_escape(r.component);
+    out += ',';
+    out += csv_escape(r.message);
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<const TraceRecord*> Trace::find_all(std::string_view component_substr,
+                                                std::string_view message_substr) const {
+  std::vector<const TraceRecord*> out;
+  for (const auto& r : records_) {
+    if (r.component.find(component_substr) == std::string::npos) continue;
+    if (r.message.find(message_substr) == std::string::npos) continue;
+    out.push_back(&r);
+  }
+  return out;
+}
+
+}  // namespace rst::sim

@@ -1,0 +1,69 @@
+#include "rst/vehicle/imu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rst/vehicle/motion_planner.hpp"
+
+namespace rst::vehicle {
+
+Imu::Imu(sim::Scheduler& sched, middleware::MessageBus& bus, const VehicleDynamics& vehicle,
+         sim::RandomStream rng, Config config)
+    : sched_{sched}, bus_{bus}, vehicle_{vehicle}, rng_{rng.child("imu")}, config_{config} {
+  accel_bias_ = rng_.normal(0.0, config_.accel_bias_sigma);
+  gyro_bias_ = rng_.normal(0.0, config_.gyro_bias_sigma);
+}
+
+Imu::~Imu() { timer_.cancel(); }
+
+void Imu::start() {
+  if (running_) return;
+  running_ = true;
+  timer_ = sched_.schedule_in(config_.sample_period, [this] { tick(); });
+}
+
+void Imu::stop() {
+  running_ = false;
+  timer_.cancel();
+}
+
+void Imu::tick() {
+  if (!running_) return;
+  ImuSample sample;
+  sample.stamp = sched_.now();
+  sample.longitudinal_accel_mps2 =
+      vehicle_.acceleration_mps2() + accel_bias_ + rng_.normal(0.0, config_.accel_noise_sigma);
+  double yaw_rate = 0.0;
+  if (has_last_) {
+    const double dt = (sched_.now() - last_tick_).to_seconds();
+    if (dt > 0) {
+      yaw_rate = std::remainder(vehicle_.heading_rad() - last_heading_, 2.0 * M_PI) / dt;
+    }
+  }
+  sample.yaw_rate_radps = yaw_rate + gyro_bias_ + rng_.normal(0.0, config_.gyro_noise_sigma);
+  last_heading_ = vehicle_.heading_rad();
+  last_tick_ = sched_.now();
+  has_last_ = true;
+  ++samples_;
+  bus_.publish("imu", sample);
+  timer_ = sched_.schedule_in(config_.sample_period, [this] { tick(); });
+}
+
+SpeedEstimator::SpeedEstimator(sim::Scheduler& sched, middleware::MessageBus& bus, Config config)
+    : sched_{sched}, config_{config} {
+  bus.subscribe_to<ImuSample>("imu", [this](const ImuSample& sample) {
+    if (has_imu_) {
+      const double dt = (sample.stamp - last_imu_).to_seconds();
+      speed_ = std::max(0.0, speed_ + sample.longitudinal_accel_mps2 * dt);
+    }
+    last_imu_ = sample.stamp;
+    has_imu_ = true;
+    ++imu_updates_;
+  });
+  bus.subscribe_to<Odometry>("odometry", [this](const Odometry& odo) {
+    speed_ += config_.odometry_gain * (odo.speed_mps - speed_);
+    ++odometry_updates_;
+  });
+}
+
+}  // namespace rst::vehicle

@@ -1,0 +1,98 @@
+#include "rst/vehicle/lidar.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rst/vehicle/motion_planner.hpp"
+
+namespace rst::vehicle {
+
+ScanningLidar::ScanningLidar(sim::Scheduler& sched, middleware::MessageBus& bus,
+                             const VehicleDynamics& vehicle, sim::RandomStream rng, Config config)
+    : sched_{sched},
+      bus_{bus},
+      vehicle_{vehicle},
+      rng_{rng.child("lidar")},
+      config_{config} {}
+
+ScanningLidar::~ScanningLidar() { timer_.cancel(); }
+
+void ScanningLidar::add_target(LidarTarget target) { targets_.push_back(std::move(target)); }
+
+void ScanningLidar::start() {
+  if (running_) return;
+  running_ = true;
+  timer_ = sched_.schedule_in(config_.scan_period, [this] { tick(); });
+}
+
+void ScanningLidar::stop() {
+  running_ = false;
+  timer_.cancel();
+}
+
+LidarScan ScanningLidar::scan() const {
+  LidarScan out;
+  out.capture_time = sched_.now();
+  const geo::Vec2 own = vehicle_.position();
+  const double heading = vehicle_.heading_rad();
+
+  for (const auto& target : targets_) {
+    const geo::Vec2 pos = target.position();
+    const geo::Vec2 rel = pos - own;
+    const double distance = rel.norm();
+    if (distance < 1e-6 || distance - target.radius_m > config_.max_range_m) continue;
+    const double bearing = std::remainder(geo::heading_from_vector(rel) - heading, 2.0 * M_PI);
+    if (std::abs(bearing) > config_.fov_half_angle_rad) continue;
+    // Occlusion: a wall between the sensor and the target blocks the ray.
+    const bool occluded = std::any_of(walls_.begin(), walls_.end(), [&](const dot11p::Wall& w) {
+      return dot11p::segments_intersect(own, pos, w.a, w.b);
+    });
+    if (occluded) continue;
+    LidarDetection det;
+    det.range_m = std::max(0.0, distance - target.radius_m +
+                                    rng_.normal(0.0, config_.range_noise_sigma_m));
+    det.bearing_rad = bearing;
+    out.detections.push_back(det);
+  }
+  return out;
+}
+
+void ScanningLidar::tick() {
+  if (!running_) return;
+  const LidarScan result = scan();
+  ++scans_;
+  sched_.schedule_in(config_.processing_latency,
+                     [this, result] { bus_.publish("lidar_scan", result); });
+  timer_ = sched_.schedule_in(config_.scan_period, [this] { tick(); });
+}
+
+AebController::AebController(sim::Scheduler& sched, middleware::MessageBus& bus, Config config,
+                             sim::Trace* trace, std::string name)
+    : sched_{sched}, bus_{bus}, config_{config}, trace_{trace}, name_{std::move(name)} {
+  bus_.subscribe_to<LidarScan>("lidar_scan", [this](const LidarScan& scan) { on_scan(scan); });
+  bus_.subscribe_to<Odometry>("odometry", [this](const Odometry& odo) { speed_ = odo.speed_mps; });
+}
+
+void AebController::on_scan(const LidarScan& scan) {
+  if (!running_ || triggered_) return;
+  ++scans_;
+  const double stopping =
+      speed_ * speed_ / (2.0 * config_.assumed_decel_mps2) + config_.margin_m;
+  for (const auto& det : scan.detections) {
+    if (std::abs(det.bearing_rad) > config_.max_bearing_rad) continue;
+    const double forward = det.range_m * std::cos(det.bearing_rad);
+    const double lateral = det.range_m * std::sin(det.bearing_rad);
+    if (forward < 0 || std::abs(lateral) > config_.corridor_half_width_m) continue;
+    if (forward <= stopping) {
+      triggered_ = true;
+      if (trace_) {
+        trace_->record(sched_.now(), name_,
+                       "AEB triggered: obstacle at " + std::to_string(forward) + " m");
+      }
+      bus_.publish("emergency_stop", std::string{"AEB: obstacle ahead"});
+      return;
+    }
+  }
+}
+
+}  // namespace rst::vehicle

@@ -1,0 +1,55 @@
+#include "rst/vehicle/line_detection.hpp"
+
+#include <cmath>
+
+namespace rst::vehicle {
+
+LineCameraSensor::LineCameraSensor(sim::Scheduler& sched, middleware::MessageBus& bus,
+                                   const Track& track, const VehicleDynamics& vehicle,
+                                   sim::RandomStream rng, Config config)
+    : sched_{sched},
+      bus_{bus},
+      track_{track},
+      vehicle_{vehicle},
+      rng_{rng.child("line_camera")},
+      config_{config} {}
+
+LineCameraSensor::~LineCameraSensor() { frame_timer_.cancel(); }
+
+void LineCameraSensor::start() {
+  if (running_) return;
+  running_ = true;
+  frame_timer_ = sched_.schedule_in(config_.frame_period, [this] { capture(); });
+}
+
+void LineCameraSensor::stop() {
+  running_ = false;
+  frame_timer_.cancel();
+}
+
+void LineCameraSensor::capture() {
+  if (!running_) return;
+  ++frames_;
+
+  LineDetection det;
+  det.capture_time = sched_.now();
+  const Track::Projection proj = track_.project(vehicle_.position());
+  const double heading_err =
+      std::remainder(vehicle_.heading_rad() - track_.heading_at(proj.arc_length), 2.0 * M_PI);
+
+  if (std::abs(proj.lateral_offset) > config_.fov_half_width_m ||
+      rng_.bernoulli(config_.dropout_probability)) {
+    det.line_found = false;
+  } else {
+    det.lateral_offset_m = proj.lateral_offset + rng_.normal(0.0, config_.offset_noise_m);
+    det.heading_error_rad = heading_err + rng_.normal(0.0, config_.heading_noise_rad);
+  }
+
+  const auto latency = rng_.normal_time(config_.processing_mean, config_.processing_sigma,
+                                        config_.processing_min);
+  sched_.schedule_in(latency, [this, det] { bus_.publish("line_detection", det); });
+
+  frame_timer_ = sched_.schedule_in(config_.frame_period, [this] { capture(); });
+}
+
+}  // namespace rst::vehicle

@@ -1,0 +1,88 @@
+#include "rst/vehicle/message_handler.hpp"
+
+#include "rst/middleware/kv.hpp"
+
+namespace rst::vehicle {
+
+MessageHandler::MessageHandler(sim::Scheduler& sched, middleware::MessageBus& bus,
+                               middleware::HttpHost& host, sim::RandomStream rng, Config config,
+                               sim::Trace* trace, std::string name)
+    : sched_{sched},
+      bus_{bus},
+      host_{host},
+      rng_{rng.child("msg_handler")},
+      config_{config},
+      trace_{trace},
+      name_{std::move(name)} {}
+
+MessageHandler::~MessageHandler() { poll_timer_.cancel(); }
+
+void MessageHandler::start() {
+  if (running_) return;
+  running_ = true;
+  // First poll at a random phase, as the script start is uncorrelated with
+  // the experiment.
+  poll_timer_ = sched_.schedule_in(rng_.uniform_time(sim::SimTime::zero(), config_.poll_period),
+                                   [this] { poll(); });
+}
+
+void MessageHandler::stop() {
+  running_ = false;
+  poll_timer_.cancel();
+}
+
+void MessageHandler::poll() {
+  if (!running_) return;
+  ++stats_.polls;
+  host_.post(config_.obu_hostname, "/request_denm", {}, [this](const middleware::HttpResponse& r) {
+    if (running_) on_response(r);
+  });
+  poll_timer_ = sched_.schedule_in(config_.poll_period, [this] { poll(); });
+}
+
+bool MessageHandler::is_emergency(const its::Denm& denm) {
+  if (denm.is_termination() || !denm.situation) return false;
+  switch (denm.situation->event_type.cause()) {
+    case its::Cause::CollisionRisk:
+    case its::Cause::DangerousSituation:
+    case its::Cause::StationaryVehicle:
+    case its::Cause::HazardousLocationObstacleOnTheRoad:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void MessageHandler::on_response(const middleware::HttpResponse& resp) {
+  if (resp.status != 200 || resp.body.empty()) return;
+  const middleware::KvBody kv = middleware::KvBody::parse(resp.body);
+  const auto hex = kv.get("denm");
+  if (!hex) return;
+
+  its::Denm denm;
+  try {
+    denm = its::Denm::decode(middleware::hex_decode(*hex));
+  } catch (const std::exception&) {
+    ++stats_.decode_errors;
+    return;
+  }
+  ++stats_.denms_fetched;
+  if (trace_) {
+    trace_->record(sched_.now(), name_,
+                   "DENM fetched action=" +
+                       std::to_string(denm.management.action_id.originating_station) + "/" +
+                       std::to_string(denm.management.action_id.sequence_number));
+  }
+  if (!is_emergency(denm)) return;
+  ++stats_.emergencies;
+  const auto handling = config_.handling_latency +
+                        rng_.uniform_time(sim::SimTime::zero(), config_.handling_jitter);
+  const auto cause = denm.situation->event_type.cause_code;
+  sched_.schedule_in(handling, [this, cause] {
+    bus_.publish("v2x_emergency",
+                 std::string{"DENM cause "} + std::to_string(cause) + " (" +
+                     std::string{its::describe_cause(cause)} + ")");
+  });
+}
+
+}  // namespace rst::vehicle

@@ -1,0 +1,70 @@
+#include "rst/vehicle/motion_planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rst::vehicle {
+
+MotionPlanner::MotionPlanner(sim::Scheduler& sched, middleware::MessageBus& bus, Config config,
+                             sim::Trace* trace, std::string name)
+    : sched_{sched},
+      bus_{bus},
+      config_{config},
+      trace_{trace},
+      name_{std::move(name)},
+      steering_pid_{config.steering_gains, -config.max_steer_rad, config.max_steer_rad} {
+  bus_.subscribe_to<LineDetection>("line_detection",
+                                   [this](const LineDetection& det) { on_line(det); });
+  bus_.subscribe_to<Odometry>("odometry", [this](const Odometry& odo) { on_odometry(odo); });
+  bus_.subscribe_to<std::string>("v2x_emergency",
+                                 [this](const std::string& reason) { emergency_stop(reason); });
+  // Local (non-V2X) emergencies, e.g. the on-board AEB.
+  bus_.subscribe_to<std::string>("emergency_stop",
+                                 [this](const std::string& reason) { emergency_stop(reason); });
+}
+
+void MotionPlanner::reset() {
+  emergency_latched_ = false;
+  steering_pid_.reset();
+  has_last_line_ = false;
+}
+
+void MotionPlanner::on_odometry(const Odometry& odo) { current_speed_ = odo.speed_mps; }
+
+void MotionPlanner::on_line(const LineDetection& det) {
+  if (emergency_latched_) return;
+  double dt = 1.0 / 30.0;
+  if (has_last_line_) {
+    dt = std::max(1e-3, (sched_.now() - last_line_time_).to_seconds());
+  }
+  last_line_time_ = sched_.now();
+  has_last_line_ = true;
+
+  DriveCommand cmd;
+  if (det.line_found) {
+    // Positive offset = vehicle left of the line = steer right (positive);
+    // the heading term damps the correction once the car rotates towards
+    // the line (Stanley-style error blend).
+    const double error =
+        det.lateral_offset_m - config_.heading_gain_m * std::sin(det.heading_error_rad);
+    cmd.steering_rad = steering_pid_.update(error, dt);
+  } else {
+    cmd.steering_rad = 0.0;  // hold course until the line reappears
+  }
+  const double speed_error = config_.target_speed_mps - current_speed_;
+  cmd.throttle01 = std::clamp(config_.cruise_throttle + config_.speed_kp * speed_error, 0.0, 1.0);
+  ++commands_;
+  bus_.publish("drive_cmd", cmd);
+}
+
+void MotionPlanner::emergency_stop(const std::string& reason) {
+  if (emergency_latched_) return;
+  emergency_latched_ = true;
+  if (trace_) trace_->record(sched_.now(), name_, "emergency stop: " + reason);
+  DriveCommand cmd;
+  cmd.power_cut = true;
+  ++commands_;
+  bus_.publish("drive_cmd", cmd);
+}
+
+}  // namespace rst::vehicle

@@ -1,0 +1,80 @@
+#include "rst/vehicle/track.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rst::vehicle {
+
+Track::Track(std::vector<geo::Vec2> waypoints) : points_{std::move(waypoints)} {
+  if (points_.size() < 2) throw std::invalid_argument{"Track: need at least 2 waypoints"};
+  cumulative_.reserve(points_.size());
+  cumulative_.push_back(0.0);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    cumulative_.push_back(cumulative_.back() + geo::distance(points_[i - 1], points_[i]));
+  }
+  if (cumulative_.back() <= 0) throw std::invalid_argument{"Track: zero length"};
+}
+
+Track Track::straight(geo::Vec2 a, geo::Vec2 b) { return Track{{a, b}}; }
+
+Track Track::loop(geo::Vec2 center, double width, double height, int corner_points) {
+  // Rounded-rectangle loop: straights plus quarter-circle corners.
+  const double r = std::min(width, height) * 0.15;
+  const double hw = width / 2 - r;
+  const double hh = height / 2 - r;
+  std::vector<geo::Vec2> pts;
+  const auto corner = [&](geo::Vec2 c, double start_angle) {
+    for (int i = 0; i <= corner_points; ++i) {
+      const double a = start_angle + (M_PI / 2) * i / corner_points;
+      pts.push_back(c + geo::Vec2{r * std::cos(a), r * std::sin(a)});
+    }
+  };
+  corner(center + geo::Vec2{hw, hh}, 0.0);
+  corner(center + geo::Vec2{-hw, hh}, M_PI / 2);
+  corner(center + geo::Vec2{-hw, -hh}, M_PI);
+  corner(center + geo::Vec2{hw, -hh}, 3 * M_PI / 2);
+  pts.push_back(pts.front());  // close the loop
+  return Track{std::move(pts)};
+}
+
+geo::Vec2 Track::point_at(double s) const {
+  s = std::clamp(s, 0.0, length());
+  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), s);
+  const auto i = std::min<std::size_t>(
+      points_.size() - 2, it == cumulative_.begin() ? 0 : (it - cumulative_.begin()) - 1);
+  const double seg_len = cumulative_[i + 1] - cumulative_[i];
+  const double t = seg_len > 0 ? (s - cumulative_[i]) / seg_len : 0.0;
+  return points_[i] + (points_[i + 1] - points_[i]) * t;
+}
+
+double Track::heading_at(double s) const {
+  s = std::clamp(s, 0.0, length());
+  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), s);
+  const auto i = std::min<std::size_t>(
+      points_.size() - 2, it == cumulative_.begin() ? 0 : (it - cumulative_.begin()) - 1);
+  return geo::heading_from_vector(points_[i + 1] - points_[i]);
+}
+
+Track::Projection Track::project(geo::Vec2 p) const {
+  Projection best;
+  double best_dist2 = std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i + 1 < points_.size(); ++i) {
+    const geo::Vec2 a = points_[i];
+    const geo::Vec2 d = points_[i + 1] - a;
+    const double len2 = d.norm2();
+    const double t = len2 > 0 ? std::clamp((p - a).dot(d) / len2, 0.0, 1.0) : 0.0;
+    const geo::Vec2 q = a + d * t;
+    const double dist2 = (p - q).norm2();
+    if (dist2 < best_dist2) {
+      best_dist2 = dist2;
+      best.closest = q;
+      best.arc_length = cumulative_[i] + std::sqrt(len2) * t;
+      // Sign: positive when p lies left of the direction of travel.
+      best.lateral_offset = std::sqrt(dist2) * (d.cross(p - a) >= 0 ? 1.0 : -1.0);
+    }
+  }
+  return best;
+}
+
+}  // namespace rst::vehicle

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "rst/middleware/ascii_map.hpp"
+
+namespace rst::middleware {
+namespace {
+
+TEST(AsciiMap, PlotsWithinViewportNorthUp) {
+  AsciiMap map{{0, 0}, {10, 10}, 11, 11};
+  map.plot({5, 5}, 'X');    // centre
+  map.plot({0, 10}, 'N');   // north-west corner -> top-left
+  map.plot({10, 0}, 'S');   // south-east corner -> bottom-right
+  const std::string out = map.render();
+  const auto lines = [&] {
+    std::vector<std::string> v;
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+      const auto next = out.find('\n', pos);
+      v.push_back(out.substr(pos, next - pos));
+      pos = next + 1;
+    }
+    return v;
+  }();
+  // Border, then 11 grid rows.
+  ASSERT_GE(lines.size(), 13u);
+  EXPECT_EQ(lines[1][1], 'N');            // top-left cell
+  EXPECT_EQ(lines[11][11], 'S');          // bottom-right cell
+  EXPECT_NE(out.find('X'), std::string::npos);
+}
+
+TEST(AsciiMap, OutOfViewportIsIgnored) {
+  AsciiMap map{{0, 0}, {10, 10}};
+  map.plot({-5, 5}, 'X');
+  map.plot({5, 50}, 'X');
+  EXPECT_EQ(map.render().find('X'), std::string::npos);
+}
+
+TEST(AsciiMap, LinesAreContinuous) {
+  AsciiMap map{{0, 0}, {10, 10}, 21, 21};
+  map.plot_line({0, 5}, {10, 5}, '-');
+  const std::string out = map.render();
+  // Count the dashes: a horizontal line across 21 columns.
+  EXPECT_GE(std::count(out.begin(), out.end(), '-'),
+            21 + 2 * 23 - 4);  // the line itself plus the border dashes
+}
+
+TEST(AsciiMap, LegendIsAppended) {
+  AsciiMap map{{0, 0}, {1, 1}};
+  map.legend('V', "vehicle");
+  const std::string out = map.render();
+  EXPECT_NE(out.find("V = vehicle"), std::string::npos);
+}
+
+TEST(AsciiMap, DegenerateViewportRejected) {
+  EXPECT_THROW((AsciiMap{{0, 0}, {0, 10}}), std::invalid_argument);
+  EXPECT_THROW((AsciiMap{{0, 0}, {10, 10}, 1, 5}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rst::middleware

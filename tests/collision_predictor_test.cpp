@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rst/roadside/collision_predictor.hpp"
+#include "rst/roadside/tracker.hpp"
+#include "rst/sim/random.hpp"
+#include "rst/sim/stats.hpp"
+
+namespace rst::roadside {
+namespace {
+
+using namespace rst::sim::literals;
+
+TEST(RangeTracker, FirstMeasurementSeedsTheTrack) {
+  RangeTracker tracker;
+  const auto est = tracker.update(1, 5.0, 0_ms);
+  EXPECT_DOUBLE_EQ(est.range_m, 5.0);
+  EXPECT_DOUBLE_EQ(est.range_rate_mps, 0.0);
+  EXPECT_EQ(est.updates, 1u);
+  EXPECT_EQ(tracker.active_tracks(), 1u);
+}
+
+TEST(RangeTracker, ConvergesOnConstantVelocityTarget) {
+  RangeTracker tracker;
+  sim::RandomStream noise{7, "trk"};
+  // Target approaches at -1.0 m/s, measured at 4 Hz with 3 cm noise.
+  double true_range = 8.0;
+  RangeEstimate est;
+  for (int i = 0; i < 40; ++i) {
+    const auto t = 250_ms * i;
+    est = tracker.update(1, true_range + noise.normal(0, 0.03), t);
+    true_range -= 0.25;
+  }
+  EXPECT_NEAR(est.range_rate_mps, -1.0, 0.08);
+  EXPECT_NEAR(est.range_m, true_range + 0.25, 0.1);
+}
+
+TEST(RangeTracker, SmootherThanFiniteDifference) {
+  sim::RandomStream noise{8, "trk2"};
+  RangeTracker tracker;
+  sim::RunningStats filtered;
+  sim::RunningStats raw_diff;
+  double true_range = 10.0;
+  double prev_meas = 0;
+  for (int i = 0; i < 200; ++i) {
+    const double meas = true_range + noise.normal(0, 0.03);
+    const auto est = tracker.update(1, meas, 250_ms * i);
+    if (i >= 10) {  // after warm-up
+      filtered.add(est.range_rate_mps);
+      raw_diff.add((meas - prev_meas) / 0.25);
+    }
+    prev_meas = meas;
+    true_range -= 0.25;
+  }
+  EXPECT_NEAR(filtered.mean(), -1.0, 0.05);
+  EXPECT_LT(filtered.stddev(), raw_diff.stddev() / 2.0);
+}
+
+TEST(RangeTracker, PredictExtrapolatesAndExpires) {
+  RangeTracker tracker;
+  // Converge on a -1 m/s track first (the filter is deliberately sluggish).
+  RangeEstimate est;
+  for (int i = 0; i < 20; ++i) {
+    est = tracker.update(1, 10.0 - 0.5 * i, 500_ms * i);
+  }
+  const auto last_stamp = est.stamp;
+  const auto later = tracker.predict(1, last_stamp + 500_ms);
+  ASSERT_TRUE(later.has_value());
+  EXPECT_LT(later->range_m, est.range_m - 0.3);  // extrapolated along the rate
+  EXPECT_FALSE(tracker.predict(1, last_stamp + 5_s).has_value());  // stale
+  EXPECT_FALSE(tracker.predict(99, 1_s).has_value());             // unknown id
+}
+
+TEST(RangeTracker, GapResetsTheTrack) {
+  RangeTracker tracker;
+  (void)tracker.update(1, 6.0, 0_ms);
+  (void)tracker.update(1, 5.5, 500_ms);
+  // 3 s silence, then a wildly different range: treated as a new track.
+  const auto est = tracker.update(1, 2.0, 3500_ms);
+  EXPECT_EQ(est.updates, 1u);
+  EXPECT_DOUBLE_EQ(est.range_rate_mps, 0.0);
+}
+
+TEST(Cpa, HeadOnCollisionCourse) {
+  // Two objects on a head-on course, 10 m apart, closing at 2 m/s.
+  const auto cpa = closest_point_of_approach({0, 0}, {0, 1}, {0, 10}, {0, -1});
+  EXPECT_NEAR(cpa.t_cpa_s, 5.0, 1e-9);
+  EXPECT_NEAR(cpa.d_cpa_m, 0.0, 1e-9);
+}
+
+TEST(Cpa, CrossingTrajectories) {
+  // Object A eastbound, B northbound, meeting at the origin at t=4.
+  const auto cpa = closest_point_of_approach({-4, 0}, {1, 0}, {0, -8}, {0, 2});
+  EXPECT_NEAR(cpa.t_cpa_s, 4.0, 0.2);
+  EXPECT_LT(cpa.d_cpa_m, 0.5);
+}
+
+TEST(Cpa, DivergingTracksClampToNow) {
+  const auto cpa = closest_point_of_approach({0, 0}, {0, -1}, {0, 5}, {0, 1});
+  EXPECT_DOUBLE_EQ(cpa.t_cpa_s, 0.0);
+  EXPECT_DOUBLE_EQ(cpa.d_cpa_m, 5.0);
+}
+
+TEST(Cpa, ParallelSameVelocityKeepsSeparation) {
+  const auto cpa = closest_point_of_approach({0, 0}, {1, 1}, {3, 4}, {1, 1});
+  EXPECT_DOUBLE_EQ(cpa.t_cpa_s, 0.0);
+  EXPECT_DOUBLE_EQ(cpa.d_cpa_m, 5.0);
+}
+
+its::LdmVehicleEntry vehicle_entry(its::StationId id, geo::Vec2 pos, double heading_rad,
+                                   double speed) {
+  its::LdmVehicleEntry e;
+  e.station_id = id;
+  e.position = pos;
+  e.heading_rad = heading_rad;
+  e.speed_mps = speed;
+  return e;
+}
+
+TEST(CollisionPredictor, FlagsCrossingConflict) {
+  CollisionPredictor predictor;
+  // Vehicle northbound at 1.2 m/s reaching (0,8) in ~4 s; object westbound
+  // reaching the same point at the same time.
+  const auto threat = predictor.assess({4.8, 8.0}, {-1.2, 0.0},
+                                       {vehicle_entry(42, {0, 3.2}, 0.0, 1.2)});
+  ASSERT_TRUE(threat.has_value());
+  EXPECT_EQ(threat->station_id, 42u);
+  EXPECT_NEAR(threat->t_cpa_s, 4.0, 0.3);
+  EXPECT_LT(threat->d_cpa_m, 0.5);
+  EXPECT_NEAR(threat->predicted_conflict_point.x, 0.0, 0.6);
+  EXPECT_NEAR(threat->predicted_conflict_point.y, 8.0, 0.6);
+}
+
+TEST(CollisionPredictor, IgnoresSafeAndFarTraffic) {
+  CollisionPredictor predictor;
+  // Misses by 3 m laterally.
+  EXPECT_FALSE(predictor.assess({4.8, 11.0}, {-1.2, 0.0},
+                                {vehicle_entry(42, {0, 3.2}, 0.0, 1.2)})
+                   .has_value());
+  // Conflict beyond the horizon (30 s away).
+  EXPECT_FALSE(predictor
+                   .assess({36.0, 8.0}, {-1.2, 0.0}, {vehicle_entry(42, {0, -28}, 0.0, 1.2)})
+                   .has_value());
+  // Outside the pairing radius entirely.
+  EXPECT_FALSE(predictor
+                   .assess({500.0, 8.0}, {-1.2, 0.0}, {vehicle_entry(42, {0, 3.2}, 0.0, 1.2)})
+                   .has_value());
+}
+
+TEST(CollisionPredictor, PicksMostImminentThreat) {
+  CollisionPredictor predictor;
+  const auto threat = predictor.assess(
+      {2.4, 8.0}, {-1.2, 0.0},
+      {vehicle_entry(1, {0, 8.0 - 4 * 1.2}, 0.0, 1.2),   // meets in ~4 s
+       vehicle_entry(2, {0, 8.0 - 2 * 1.2}, 0.0, 1.2)}); // meets in ~2 s
+  ASSERT_TRUE(threat.has_value());
+  EXPECT_EQ(threat->station_id, 2u);
+}
+
+}  // namespace
+}  // namespace rst::roadside

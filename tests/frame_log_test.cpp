@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "rst/core/testbed.hpp"
+#include "rst/middleware/frame_log.hpp"
+
+namespace rst::middleware {
+namespace {
+
+using namespace rst::sim::literals;
+
+TEST(FrameLog, CapturesTheEmergencyBrakeExchange) {
+  core::TestbedConfig config;
+  config.seed = 71;
+  core::TestbedScenario scenario{config};
+  FrameLog log{scenario.scheduler()};
+  log.attach(scenario.rsu().radio());  // monitor at the RSU: hears the CAMs
+  log.attach(scenario.obu().radio());  // and at the OBU: hears the DENM
+
+  const auto r = scenario.run_emergency_brake_trial();
+  ASSERT_TRUE(r.stopped_by_denm);
+
+  const auto summary = log.summarize();
+  EXPECT_GT(summary.total, 5u);
+  EXPECT_GT(summary.cams, 3u);   // periodic CAMs from the vehicle
+  EXPECT_GE(summary.denms, 1u);  // the warning itself
+  EXPECT_EQ(summary.total, summary.cams + summary.denms + summary.other);
+
+  // Every captured frame carries a plausible RSSI and a timestamp within
+  // the run.
+  for (const auto& frame : log.frames()) {
+    EXPECT_LT(frame.rssi_dbm, 0.0);
+    EXPECT_GT(frame.rssi_dbm, -120.0);
+    EXPECT_LE(frame.when, scenario.scheduler().now());
+  }
+}
+
+TEST(FrameLog, SerializationRoundTrips) {
+  core::TestbedConfig config;
+  config.seed = 72;
+  core::TestbedScenario scenario{config};
+  FrameLog log{scenario.scheduler()};
+  log.attach(scenario.rsu().radio());  // the RSU hears the vehicle's CAMs
+  scenario.start_services();
+  scenario.scheduler().run_until(3_s);
+  ASSERT_GT(log.frames().size(), 2u);
+
+  const auto bytes = log.serialize();
+  const auto parsed = FrameLog::parse(bytes);
+  ASSERT_EQ(parsed.size(), log.frames().size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].when, log.frames()[i].when);
+    EXPECT_EQ(parsed[i].src_mac, log.frames()[i].src_mac);
+    EXPECT_EQ(parsed[i].payload, log.frames()[i].payload);
+    EXPECT_NEAR(parsed[i].rssi_dbm, log.frames()[i].rssi_dbm, 0.06);  // 0.1 dB quantization
+  }
+}
+
+TEST(FrameLog, ClearEmptiesTheCapture) {
+  sim::Scheduler sched;
+  FrameLog log{sched};
+  EXPECT_TRUE(log.frames().empty());
+  EXPECT_EQ(log.summarize().total, 0u);
+  EXPECT_TRUE(FrameLog::parse(log.serialize()).empty());
+}
+
+}  // namespace
+}  // namespace rst::middleware

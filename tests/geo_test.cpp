@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rst/geo/geo_area.hpp"
+#include "rst/geo/geodesy.hpp"
+#include "rst/geo/vec2.hpp"
+#include "rst/sim/random.hpp"
+
+namespace rst::geo {
+namespace {
+
+TEST(Vec2, BasicAlgebra) {
+  const Vec2 a{3, 4};
+  const Vec2 b{1, -2};
+  EXPECT_EQ(a + b, (Vec2{4, 2}));
+  EXPECT_EQ(a - b, (Vec2{2, 6}));
+  EXPECT_EQ(a * 2.0, (Vec2{6, 8}));
+  EXPECT_EQ(a / 2.0, (Vec2{1.5, 2}));
+  EXPECT_DOUBLE_EQ(a.dot(b), -5.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), -10.0);
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.norm2(), 25.0);
+}
+
+TEST(Vec2, NormalizedHandlesZero) {
+  EXPECT_EQ(Vec2{}.normalized(), (Vec2{0, 0}));
+  const Vec2 n = Vec2{0, 5}.normalized();
+  EXPECT_DOUBLE_EQ(n.norm(), 1.0);
+}
+
+TEST(Vec2, RotationPreservesNorm) {
+  const Vec2 v{2, 1};
+  const Vec2 r = v.rotated(1.234);
+  EXPECT_NEAR(r.norm(), v.norm(), 1e-12);
+  // Rotating by 90 degrees CCW maps (1,0) -> (0,1).
+  const Vec2 e = Vec2{1, 0}.rotated(M_PI / 2);
+  EXPECT_NEAR(e.x, 0.0, 1e-12);
+  EXPECT_NEAR(e.y, 1.0, 1e-12);
+}
+
+TEST(Heading, ConventionIsClockwiseFromNorth) {
+  EXPECT_NEAR(heading_from_vector({0, 1}), 0.0, 1e-12);          // north
+  EXPECT_NEAR(heading_from_vector({1, 0}), M_PI / 2, 1e-12);     // east
+  EXPECT_NEAR(heading_from_vector({0, -1}), M_PI, 1e-12);        // south
+  EXPECT_NEAR(heading_from_vector({-1, 0}), 3 * M_PI / 2, 1e-12);  // west
+}
+
+TEST(Heading, RoundTripWithVector) {
+  sim::RandomStream r{1, "heading"};
+  for (int i = 0; i < 200; ++i) {
+    const double h = r.uniform(0.0, 2 * M_PI);
+    const Vec2 v = vector_from_heading(h);
+    EXPECT_NEAR(heading_from_vector(v), h, 1e-9);
+    EXPECT_NEAR(v.norm(), 1.0, 1e-12);
+  }
+}
+
+TEST(Geodesy, TenthMicrodegreeConversionRoundTrips) {
+  EXPECT_EQ(to_its_tenth_microdegree(41.1780), 411780000);
+  EXPECT_NEAR(from_its_tenth_microdegree(411780000), 41.1780, 1e-9);
+  EXPECT_EQ(to_its_tenth_microdegree(-8.6080), -86080000);
+}
+
+TEST(Geodesy, HaversineKnownDistance) {
+  // One degree of latitude is ~111.2 km.
+  const GeoPosition a{41.0, -8.0};
+  const GeoPosition b{42.0, -8.0};
+  EXPECT_NEAR(haversine_m(a, b), 111195, 50);
+  EXPECT_DOUBLE_EQ(haversine_m(a, a), 0.0);
+}
+
+TEST(LocalFrame, RoundTripsAccuratelyOverLabScale) {
+  const LocalFrame frame{{41.1780, -8.6080}};
+  sim::RandomStream r{2, "frame"};
+  for (int i = 0; i < 200; ++i) {
+    const Vec2 p{r.uniform(-200, 200), r.uniform(-200, 200)};
+    const Vec2 back = frame.to_local(frame.to_geo(p));
+    EXPECT_NEAR(back.x, p.x, 1e-6);
+    EXPECT_NEAR(back.y, p.y, 1e-6);
+  }
+}
+
+TEST(LocalFrame, AgreesWithHaversine) {
+  const LocalFrame frame{{41.1780, -8.6080}};
+  const Vec2 p{120.0, -80.0};
+  const GeoPosition gp = frame.to_geo(p);
+  EXPECT_NEAR(haversine_m(frame.origin(), gp), p.norm(), 0.05);
+}
+
+TEST(GeoArea, CircleContainment) {
+  const GeoArea c = GeoArea::circle({10, 10}, 5.0);
+  EXPECT_TRUE(c.contains({10, 10}));
+  EXPECT_TRUE(c.contains({14.9, 10}));
+  EXPECT_TRUE(c.contains({10, 15}));  // on the border: F == 0
+  EXPECT_FALSE(c.contains({15.1, 10}));
+  EXPECT_DOUBLE_EQ(c.bounding_radius(), 5.0);
+}
+
+TEST(GeoArea, GeometricFunctionSignsMatchEn302931) {
+  const GeoArea e = GeoArea::ellipse({0, 0}, 4.0, 2.0, 0.0);
+  EXPECT_GT(e.geometric_function({0, 0}), 0.0);    // inside
+  EXPECT_NEAR(e.geometric_function({0, 4}), 0.0, 1e-12);  // border (long axis = north)
+  EXPECT_LT(e.geometric_function({3, 0}), 0.0);    // outside (short axis = east)
+}
+
+TEST(GeoArea, RectangleWithAzimuth) {
+  // Long axis rotated to east (azimuth 90 deg).
+  const GeoArea rect = GeoArea::rectangle({0, 0}, 10.0, 2.0, M_PI / 2);
+  EXPECT_TRUE(rect.contains({9, 0}));
+  EXPECT_FALSE(rect.contains({0, 3}));
+  EXPECT_TRUE(rect.contains({0, 1.9}));
+  EXPECT_DOUBLE_EQ(rect.bounding_radius(), std::hypot(10.0, 2.0));
+}
+
+TEST(GeoArea, ContainmentInvariantUnderRotationProperty) {
+  // Rotating both the area and the query point preserves containment.
+  sim::RandomStream r{3, "area"};
+  for (int i = 0; i < 300; ++i) {
+    const double az = r.uniform(0.0, 2 * M_PI);
+    const Vec2 p{r.uniform(-6, 6), r.uniform(-6, 6)};
+    const GeoArea base = GeoArea::ellipse({0, 0}, 5.0, 2.0, 0.0);
+    const GeoArea rotated = GeoArea::ellipse({0, 0}, 5.0, 2.0, az);
+    // The point rotated clockwise by az (matching the azimuth convention).
+    const Vec2 rotated_p = p.rotated(-az);
+    EXPECT_EQ(base.contains(p), rotated.contains(rotated_p)) << "azimuth " << az;
+  }
+}
+
+TEST(GeoArea, InvalidSemiDistanceThrows) {
+  GeoArea bad = GeoArea::circle({0, 0}, 0.0);
+  EXPECT_THROW((void)bad.contains({1, 1}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace rst::geo

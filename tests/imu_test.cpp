@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "rst/middleware/message_bus.hpp"
+#include "rst/sim/stats.hpp"
+#include "rst/vehicle/control_module.hpp"
+#include "rst/vehicle/imu.hpp"
+
+namespace rst::vehicle {
+namespace {
+
+using namespace rst::sim::literals;
+
+struct ImuRig {
+  sim::Scheduler sched;
+  sim::RandomStream rng{808, "imu_test"};
+  middleware::MessageBus bus{sched, rng.child("bus")};
+  VehicleDynamics dyn{sched, {}, rng.child("dyn")};
+  Imu imu{sched, bus, dyn, rng.child("imu")};
+
+  ImuRig() { dyn.reset({0, 0}, 0.0); }
+};
+
+TEST(Imu, PublishesAtConfiguredRate) {
+  ImuRig rig;
+  int samples = 0;
+  rig.bus.subscribe_to<ImuSample>("imu", [&](const ImuSample&) { ++samples; });
+  rig.imu.start();
+  rig.sched.run_until(1050_ms);
+  EXPECT_GE(samples, 100);
+  EXPECT_LE(samples, 106);
+  rig.imu.stop();
+}
+
+TEST(Imu, MeasuresAccelerationWithBiasAndNoise) {
+  ImuRig rig;
+  rig.dyn.reset({0, 0}, 0.0, 0.0);
+  rig.dyn.set_throttle(0.5);
+  rig.dyn.start();
+  sim::RunningStats accel;
+  rig.bus.subscribe_to<ImuSample>("imu", [&](const ImuSample& s) {
+    accel.add(s.longitudinal_accel_mps2);
+  });
+  rig.imu.start();
+  rig.sched.run_until(400_ms);  // early acceleration phase
+  ASSERT_GT(accel.count(), 20u);
+  // Throttle 0.5 -> ~1.5 m/s^2 at low speed; the mean should land near the
+  // true value offset by the (bounded) bias.
+  EXPECT_NEAR(accel.mean(), 1.5, 0.5);
+  EXPECT_GT(accel.stddev(), 0.01);  // noise present
+}
+
+TEST(Imu, YawRateTracksTurning) {
+  ImuRig rig;
+  rig.dyn.reset({0, 0}, 0.0, 1.0);
+  rig.dyn.set_throttle(0.1);
+  rig.dyn.set_steering(0.2);
+  rig.dyn.start();
+  sim::RunningStats yaw;
+  rig.bus.subscribe_to<ImuSample>("imu", [&](const ImuSample& s) { yaw.add(s.yaw_rate_radps); });
+  rig.imu.start();
+  rig.sched.run_until(1_s);
+  // Kinematic yaw rate ~ v/L * tan(0.2) ~ 1.0/0.325*0.203 ~ 0.62 rad/s.
+  EXPECT_NEAR(yaw.mean(), 0.62, 0.25);
+}
+
+TEST(SpeedEstimator, TracksTrueSpeedThroughManoeuvre) {
+  ImuRig rig;
+  ControlModule control{rig.sched, rig.bus, rig.dyn, rig.rng.child("ctl")};
+  SpeedEstimator estimator{rig.sched, rig.bus};
+  rig.dyn.reset({0, 0}, 0.0, 0.0);
+  rig.dyn.start();
+  rig.imu.start();
+  control.start();
+
+  rig.dyn.set_throttle(0.3);
+  rig.sched.run_until(3_s);
+  EXPECT_NEAR(estimator.speed_mps(), rig.dyn.speed_mps(), 0.25);
+  rig.dyn.cut_power();
+  rig.sched.run_until(6_s);
+  EXPECT_NEAR(estimator.speed_mps(), 0.0, 0.2);
+  EXPECT_GT(estimator.imu_updates(), 400u);
+  EXPECT_GT(estimator.odometry_updates(), 100u);
+}
+
+TEST(SpeedEstimator, OdometryCorrectsImuDrift) {
+  // Without odometry fixes, integrating a biased IMU drifts; the fixes
+  // bound the error.
+  ImuRig rig;
+  SpeedEstimator no_fix{rig.sched, rig.bus};
+  rig.dyn.reset({0, 0}, 0.0, 1.0);
+  rig.dyn.start();  // coasting: slow decay
+  rig.imu.start();
+  rig.sched.run_until(10_s);
+  // The drift-only estimator started at 0 and integrated noise+bias.
+  const double drift_error = std::abs(no_fix.speed_mps() - rig.dyn.speed_mps());
+
+  ImuRig rig2;
+  ControlModule control{rig2.sched, rig2.bus, rig2.dyn, rig2.rng.child("ctl")};
+  SpeedEstimator with_fix{rig2.sched, rig2.bus};
+  rig2.dyn.reset({0, 0}, 0.0, 1.0);
+  rig2.dyn.start();
+  rig2.imu.start();
+  control.start();
+  rig2.sched.run_until(10_s);
+  const double corrected_error = std::abs(with_fix.speed_mps() - rig2.dyn.speed_mps());
+  EXPECT_LT(corrected_error, 0.15);
+  EXPECT_LE(corrected_error, drift_error + 0.05);
+}
+
+}  // namespace
+}  // namespace rst::vehicle

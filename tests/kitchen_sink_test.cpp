@@ -1,0 +1,66 @@
+// Kitchen-sink integration: every optional subsystem enabled at once —
+// GNSS positions, on-board LiDAR + AEB, anonymized detections with data
+// association, DENM repetition, keep-alive forwarding on the OBU,
+// shadowed channel with Nakagami-grade noise. The full chain must still
+// stop the vehicle inside the budget across seeds.
+
+#include <gtest/gtest.h>
+
+#include "rst/core/testbed.hpp"
+
+namespace rst::core {
+namespace {
+
+using namespace rst::sim::literals;
+
+class KitchenSink : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KitchenSink, AllFeaturesCoexist) {
+  TestbedConfig config;
+  config.seed = 7000 + GetParam();
+  config.use_gnss = true;
+  config.enable_lidar_aeb = true;
+  config.detection.anonymize_detections = true;
+  config.hazard.denm_repetition = 60_ms;
+  config.obu.den.enable_kaf = true;
+  config.shadowing_sigma_db = 5.0;
+  config.line_sensor.dropout_probability = 0.1;
+
+  TestbedScenario scenario{config};
+  const TrialResult r = scenario.run_emergency_brake_trial(20_s);
+  ASSERT_TRUE(r.stopped_by_denm) << "seed " << config.seed;
+  EXPECT_LT(r.meas_total_ms, 120.0);
+  EXPECT_GT(r.braking_distance_m, 0.05);
+  EXPECT_TRUE(scenario.dynamics().stopped());
+  // GNSS and LiDAR actually ran.
+  ASSERT_NE(scenario.gnss(), nullptr);
+  EXPECT_GT(scenario.gnss()->fixes(), 10u);
+  ASSERT_NE(scenario.lidar(), nullptr);
+  EXPECT_GT(scenario.lidar()->scans_published(), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KitchenSink, ::testing::Range<std::uint64_t>(0, 6));
+
+TEST(KitchenSink, StatsAreInternallyConsistentAfterATrial) {
+  TestbedConfig config;
+  config.seed = 8088;
+  TestbedScenario scenario{config};
+  const TrialResult r = scenario.run_emergency_brake_trial();
+  ASSERT_TRUE(r.stopped_by_denm);
+
+  // Radio-level conservation: the medium delivered at least as many frames
+  // as the facilities consumed.
+  const auto& medium = scenario.medium().stats();
+  EXPECT_GE(medium.frames_transmitted, 1u);
+  EXPECT_EQ(medium.frames_transmitted,
+            scenario.obu().radio().stats().tx_frames + scenario.rsu().radio().stats().tx_frames);
+  EXPECT_LE(scenario.rsu().ca().stats().cams_received, scenario.obu().ca().stats().cams_sent);
+  EXPECT_GE(scenario.obu().den().stats().denms_received, 1u);
+  EXPECT_GE(scenario.rsu().den().stats().denms_sent, 1u);
+  // The BTP mux dispatched everything the facilities saw.
+  EXPECT_EQ(scenario.obu().btp().stats().parse_errors, 0u);
+  EXPECT_EQ(scenario.rsu().btp().stats().parse_errors, 0u);
+}
+
+}  // namespace
+}  // namespace rst::core

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "rst/its/facilities/den_basic_service.hpp"
+#include "rst/middleware/kv.hpp"
+#include "rst/middleware/openc2x_api.hpp"
+
+namespace rst::middleware {
+namespace {
+
+using namespace rst::sim::literals;
+
+/// One full station worth of plumbing to host the API.
+struct ApiRig {
+  sim::Scheduler sched;
+  sim::RandomStream rng{61, "api"};
+  geo::LocalFrame frame{{41.1780, -8.6080}};
+  std::unique_ptr<dot11p::Medium> medium;
+  std::unique_ptr<dot11p::Radio> radio;
+  std::unique_ptr<its::GeoNetRouter> router;
+  std::unique_ptr<its::DenBasicService> den;
+  HttpLan lan{sched, rng.child("lan")};
+  HttpHost host{lan, "obu"};
+  HttpHost client{lan, "jetson"};
+  std::unique_ptr<OpenC2xApi> api;
+
+  ApiRig() {
+    dot11p::ChannelModel channel;
+    channel.path_loss =
+        std::make_shared<dot11p::LogDistanceModel>(dot11p::LogDistanceModel::its_g5(2.0));
+    medium = std::make_unique<dot11p::Medium>(sched, rng.child("m"), channel);
+    radio = std::make_unique<dot11p::Radio>(
+        *medium, dot11p::RadioConfig{}, [] { return geo::Vec2{0, 0}; }, rng.child("r"), "r");
+    router = std::make_unique<its::GeoNetRouter>(
+        sched, *radio, frame, its::GnAddress::from_station(42),
+        [] { return its::EgoState{{0, 0}, 0, 0}; }, its::GeoNetConfig{}, rng.child("g"));
+    den = std::make_unique<its::DenBasicService>(sched, *router, 42);
+    api = std::make_unique<OpenC2xApi>(host, frame, *den);
+  }
+};
+
+TEST(OpenC2xApi, ParseTriggerBodyCoversAllFields) {
+  ApiRig rig;
+  const auto r = rig.api->parse_trigger_body(
+      "cause=97;subcause=2;quality=6;x=1.5;y=-2.25;validity_ms=5000;radius_m=80;"
+      "repeat_ms=100;repeat_dur_ms=2000;event_speed=1.4;event_heading=1.57");
+  EXPECT_EQ(r.event_type.cause_code, 97);
+  EXPECT_EQ(r.event_type.sub_cause_code, 2);
+  EXPECT_EQ(r.information_quality, 6);
+  EXPECT_DOUBLE_EQ(r.event_position.x, 1.5);
+  EXPECT_DOUBLE_EQ(r.event_position.y, -2.25);
+  EXPECT_EQ(r.validity, 5_s);
+  EXPECT_DOUBLE_EQ(r.destination_area.a, 80.0);
+  ASSERT_TRUE(r.repetition_interval.has_value());
+  EXPECT_EQ(*r.repetition_interval, 100_ms);
+  EXPECT_EQ(r.repetition_duration, 2_s);
+  ASSERT_TRUE(r.event_speed_mps.has_value());
+  EXPECT_DOUBLE_EQ(*r.event_speed_mps, 1.4);
+  ASSERT_TRUE(r.event_heading_rad.has_value());
+}
+
+TEST(OpenC2xApi, ParseTriggerBodyDefaults) {
+  ApiRig rig;
+  const auto r = rig.api->parse_trigger_body("");
+  EXPECT_EQ(r.event_type.cause_code, 0);
+  EXPECT_EQ(r.information_quality, 3);
+  EXPECT_EQ(r.validity, sim::SimTime::seconds(600));
+  EXPECT_DOUBLE_EQ(r.destination_area.a, 100.0);
+  EXPECT_FALSE(r.repetition_interval.has_value());
+}
+
+TEST(OpenC2xApi, TriggerDenmReturnsActionId) {
+  ApiRig rig;
+  std::string body;
+  rig.client.post("obu", "/trigger_denm", "cause=97;subcause=2;x=0;y=0",
+                  [&](const HttpResponse& resp) { body = resp.body; });
+  rig.sched.run();
+  const auto kv = KvBody::parse(body);
+  EXPECT_EQ(kv.get_int("station"), 42);
+  EXPECT_EQ(kv.get_int("sequence"), 1);
+  EXPECT_EQ(rig.den->stats().denms_sent, 1u);
+}
+
+TEST(OpenC2xApi, RequestDenmDrainsInboxFifo) {
+  ApiRig rig;
+  // Inject two received DENMs directly through the service callback path.
+  its::Denm first;
+  first.management.action_id = {7, 1};
+  its::Denm second;
+  second.management.action_id = {7, 2};
+  // The API owns the DEN callback; feed through it like the service would.
+  // (Simulate reception by invoking the BTP path: encode + loopback.)
+  its::GnDeliveryMeta meta;
+  meta.delivered_at = rig.sched.now();
+  rig.den->set_denm_callback(nullptr);  // detach API to re-wire manually? No:
+  // Instead: rebuild the API to restore its callback and push via den.
+  rig.api = std::make_unique<OpenC2xApi>(rig.host, rig.frame, *rig.den);
+  rig.den->on_btp_payload(first.encode(), meta);
+  rig.den->on_btp_payload(second.encode(), meta);
+  EXPECT_EQ(rig.api->pending_denms(), 2u);
+
+  std::vector<std::string> bodies;
+  const auto poll = [&] {
+    rig.client.post("obu", "/request_denm", "",
+                    [&](const HttpResponse& resp) { bodies.push_back(resp.body); });
+    rig.sched.run();
+  };
+  poll();
+  poll();
+  poll();
+  ASSERT_EQ(bodies.size(), 3u);
+  const auto first_out = its::Denm::decode(hex_decode(*KvBody::parse(bodies[0]).get("denm")));
+  const auto second_out = its::Denm::decode(hex_decode(*KvBody::parse(bodies[1]).get("denm")));
+  EXPECT_EQ(first_out.management.action_id.sequence_number, 1);
+  EXPECT_EQ(second_out.management.action_id.sequence_number, 2);
+  EXPECT_TRUE(bodies[2].empty());  // inbox drained: HTTP 200 with empty body
+  EXPECT_EQ(rig.api->pending_denms(), 0u);
+}
+
+}  // namespace
+}  // namespace rst::middleware

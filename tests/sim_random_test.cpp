@@ -1,0 +1,128 @@
+#include "rst/sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rst/sim/stats.hpp"
+
+namespace rst::sim {
+namespace {
+
+TEST(RandomStream, DeterministicForSameSeedAndName) {
+  RandomStream a{42, "channel"};
+  RandomStream b{42, "channel"};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+  }
+}
+
+TEST(RandomStream, DifferentNamesAreIndependent) {
+  RandomStream a{42, "alpha"};
+  RandomStream b{42, "beta"};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform01() == b.uniform01()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RandomStream, ChildStreamsAreStable) {
+  RandomStream root{7, "root"};
+  RandomStream c1 = root.child("x");
+  RandomStream c2 = RandomStream{7, "root"}.child("x");
+  for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(c1.uniform01(), c2.uniform01());
+}
+
+TEST(RandomStream, ConsumingParentDoesNotAffectChild) {
+  RandomStream root1{9, "r"};
+  RandomStream root2{9, "r"};
+  (void)root1.uniform01();  // consume from one parent only
+  RandomStream c1 = root1.child("k");
+  RandomStream c2 = root2.child("k");
+  EXPECT_DOUBLE_EQ(c1.uniform01(), c2.uniform01());
+}
+
+TEST(RandomStream, UniformRespectsBounds) {
+  RandomStream r{1, "u"};
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+  EXPECT_THROW((void)r.uniform(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(RandomStream, UniformIntCoversInclusiveRange) {
+  RandomStream r{1, "ui"};
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomStream, NormalMomentsApproximatelyCorrect) {
+  RandomStream r{123, "n"};
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(r.normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(RandomStream, NormalMinNeverBelowFloor) {
+  RandomStream r{5, "nm"};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(r.normal_min(1.0, 5.0, 0.5), 0.5);
+  }
+}
+
+TEST(RandomStream, ExponentialMeanApproximatelyCorrect) {
+  RandomStream r{11, "e"};
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(r.exponential(3.0));
+  EXPECT_NEAR(s.mean(), 3.0, 0.1);
+  EXPECT_THROW((void)r.exponential(0.0), std::invalid_argument);
+}
+
+TEST(RandomStream, BernoulliEdgeCases) {
+  RandomStream r{2, "b"};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(RandomStream, UniformTimeWithinBounds) {
+  using namespace rst::sim::literals;
+  RandomStream r{3, "t"};
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime t = r.uniform_time(10_ms, 20_ms);
+    EXPECT_GE(t, 10_ms);
+    EXPECT_LE(t, 20_ms);
+  }
+}
+
+TEST(RandomStream, NormalTimeRespectsMinimum) {
+  using namespace rst::sim::literals;
+  RandomStream r{4, "nt"};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(r.normal_time(5_ms, 10_ms, 1_ms), 1_ms);
+  }
+}
+
+TEST(StableHash, KnownPropertiesHold) {
+  EXPECT_EQ(stable_hash("abc"), stable_hash("abc"));
+  EXPECT_NE(stable_hash("abc"), stable_hash("abd"));
+  EXPECT_NE(stable_hash(""), stable_hash("a"));
+}
+
+}  // namespace
+}  // namespace rst::sim

@@ -1,0 +1,174 @@
+#include "rst/sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rst/sim/trace.hpp"
+
+namespace rst::sim {
+namespace {
+
+using namespace rst::sim::literals;
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(30_ms, [&] { order.push_back(3); });
+  sched.schedule_at(10_ms, [&] { order.push_back(1); });
+  sched.schedule_at(20_ms, [&] { order.push_back(2); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), 30_ms);
+}
+
+TEST(Scheduler, EqualTimestampsFireInSchedulingOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sched.schedule_at(5_ms, [&order, i] { order.push_back(i); });
+  }
+  sched.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Scheduler, ScheduleInIsRelative) {
+  Scheduler sched;
+  SimTime fired_at;
+  sched.schedule_at(10_ms, [&] {
+    sched.schedule_in(5_ms, [&] { fired_at = sched.now(); });
+  });
+  sched.run();
+  EXPECT_EQ(fired_at, 15_ms);
+}
+
+TEST(Scheduler, RejectsPastScheduling) {
+  Scheduler sched;
+  sched.schedule_at(10_ms, [] {});
+  sched.run();
+  EXPECT_THROW(sched.schedule_at(5_ms, [] {}), std::invalid_argument);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler sched;
+  bool fired = false;
+  EventHandle h = sched.schedule_at(10_ms, [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  sched.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, CancelIsIdempotentAndSafeAfterFire) {
+  Scheduler sched;
+  EventHandle h = sched.schedule_at(1_ms, [] {});
+  sched.run();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no-op
+  h.cancel();
+}
+
+TEST(Scheduler, RunUntilAdvancesClockToDeadline) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule_at(10_ms, [&] { ++fired; });
+  sched.schedule_at(50_ms, [&] { ++fired; });
+  const auto n = sched.run_until(20_ms);
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.now(), 20_ms);
+  EXPECT_EQ(sched.pending_events(), 1u);
+}
+
+TEST(Scheduler, RunUntilExecutesEventAtExactDeadline) {
+  Scheduler sched;
+  bool fired = false;
+  sched.schedule_at(20_ms, [&] { fired = true; });
+  sched.run_until(20_ms);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Scheduler, RunWithLimitStopsEarly) {
+  Scheduler sched;
+  int fired = 0;
+  for (int i = 1; i <= 5; ++i) {
+    sched.schedule_at(SimTime::milliseconds(i), [&] { ++fired; });
+  }
+  EXPECT_EQ(sched.run(2), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sched.run(), 3u);
+}
+
+TEST(Scheduler, StepExecutesExactlyOne) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule_at(1_ms, [&] { ++fired; });
+  sched.schedule_at(2_ms, [&] { ++fired; });
+  EXPECT_TRUE(sched.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sched.step());
+  EXPECT_FALSE(sched.step());
+}
+
+TEST(Scheduler, EventsCanScheduleMoreEvents) {
+  Scheduler sched;
+  int chain = 0;
+  std::function<void()> next = [&] {
+    if (++chain < 100) sched.schedule_in(1_ms, next);
+  };
+  sched.schedule_in(1_ms, next);
+  sched.run();
+  EXPECT_EQ(chain, 100);
+  EXPECT_EQ(sched.now(), 100_ms);
+  EXPECT_EQ(sched.executed_events(), 100u);
+}
+
+TEST(Scheduler, CancelledEventsDoNotAdvanceClockInRunUntil) {
+  Scheduler sched;
+  EventHandle h = sched.schedule_at(5_ms, [] {});
+  h.cancel();
+  sched.run_until(3_ms);
+  EXPECT_EQ(sched.now(), 3_ms);
+  EXPECT_EQ(sched.pending_events(), 0u);
+}
+
+TEST(Trace, RecordAndFilteredLookup) {
+  Trace trace;
+  trace.record(1_ms, "den.900", "DENM sent action=900/1");
+  trace.record(2_ms, "den.42", "DENM received action=900/1");
+  trace.record(3_ms, "control", "power cut commanded");
+  trace.record(4_ms, "den.900", "DENM sent action=900/2");
+
+  ASSERT_EQ(trace.records().size(), 4u);
+  const auto* first_sent = trace.find("den.900", "DENM sent");
+  ASSERT_NE(first_sent, nullptr);
+  EXPECT_EQ(first_sent->when, 1_ms);
+  // `from` skips earlier records.
+  const auto* second_sent = trace.find("den.900", "DENM sent", 2_ms);
+  ASSERT_NE(second_sent, nullptr);
+  EXPECT_EQ(second_sent->when, 4_ms);
+  // Substring match on both fields.
+  EXPECT_NE(trace.find("control", "power cut"), nullptr);
+  EXPECT_EQ(trace.find("control", "no such message"), nullptr);
+  EXPECT_EQ(trace.find("nobody", ""), nullptr);
+
+  const auto all_sent = trace.find_all("den.", "DENM");
+  EXPECT_EQ(all_sent.size(), 3u);
+
+  trace.clear();
+  EXPECT_TRUE(trace.records().empty());
+}
+
+TEST(Trace, CsvExportEscapesSpecials) {
+  Trace trace;
+  trace.record(1500_us, "den.900", "DENM sent action=900/1");
+  trace.record(2_ms, "note", "contains, comma and \"quotes\"");
+  const std::string csv = trace.to_csv();
+  EXPECT_NE(csv.find("time_ms,component,message\n"), std::string::npos);
+  EXPECT_NE(csv.find("1.500000,den.900,DENM sent action=900/1\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"contains, comma and \"\"quotes\"\"\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rst::sim

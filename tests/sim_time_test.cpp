@@ -1,0 +1,64 @@
+#include "rst/sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rst::sim {
+namespace {
+
+using namespace rst::sim::literals;
+
+TEST(SimTime, UnitConstructorsAgree) {
+  EXPECT_EQ(SimTime::seconds(1), SimTime::milliseconds(1000));
+  EXPECT_EQ(SimTime::milliseconds(1), SimTime::microseconds(1000));
+  EXPECT_EQ(SimTime::microseconds(1), SimTime::nanoseconds(1000));
+  EXPECT_EQ(1_s, 1000_ms);
+  EXPECT_EQ(1_ms, 1000_us);
+}
+
+TEST(SimTime, FromSecondsRoundsToNearestNanosecond) {
+  EXPECT_EQ(SimTime::from_seconds(1.5).count_ns(), 1'500'000'000);
+  EXPECT_EQ(SimTime::from_seconds(1e-9).count_ns(), 1);
+  EXPECT_EQ(SimTime::from_seconds(1.4e-9).count_ns(), 1);
+  EXPECT_EQ(SimTime::from_seconds(1.6e-9).count_ns(), 2);
+  EXPECT_EQ(SimTime::from_seconds(-2.5e-9).count_ns(), -3);  // half rounds away from zero
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = 100_ms;
+  const SimTime b = 40_ms;
+  EXPECT_EQ((a + b).to_milliseconds(), 140.0);
+  EXPECT_EQ((a - b).to_milliseconds(), 60.0);
+  EXPECT_EQ(a * 3, 300_ms);
+  EXPECT_EQ(3 * a, 300_ms);
+  EXPECT_EQ(a / b, 2);  // integer division of durations
+  EXPECT_EQ(a / 4, 25_ms);
+  EXPECT_EQ(a % b, 20_ms);
+}
+
+TEST(SimTime, Comparisons) {
+  EXPECT_LT(1_ms, 2_ms);
+  EXPECT_LE(2_ms, 2_ms);
+  EXPECT_GT(SimTime::max(), 1000000_s);
+  EXPECT_EQ(SimTime::zero().count_ns(), 0);
+}
+
+TEST(SimTime, CompoundAssignment) {
+  SimTime t = 5_ms;
+  t += 5_ms;
+  EXPECT_EQ(t, 10_ms);
+  t -= 3_ms;
+  EXPECT_EQ(t, 7_ms);
+}
+
+TEST(SimTime, ConversionsToFloating) {
+  EXPECT_DOUBLE_EQ((1500_us).to_milliseconds(), 1.5);
+  EXPECT_DOUBLE_EQ((2_s).to_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ((3_us).to_microseconds(), 3.0);
+}
+
+TEST(SimTime, ToStringRendersMilliseconds) {
+  EXPECT_EQ((1500_us).to_string(), "1.500ms");
+}
+
+}  // namespace
+}  // namespace rst::sim
