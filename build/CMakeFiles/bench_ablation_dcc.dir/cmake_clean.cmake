@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dcc.dir/bench/bench_ablation_dcc.cpp.o"
+  "CMakeFiles/bench_ablation_dcc.dir/bench/bench_ablation_dcc.cpp.o.d"
+  "bench/bench_ablation_dcc"
+  "bench/bench_ablation_dcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

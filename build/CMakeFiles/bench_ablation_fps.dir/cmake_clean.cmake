@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fps.dir/bench/bench_ablation_fps.cpp.o"
+  "CMakeFiles/bench_ablation_fps.dir/bench/bench_ablation_fps.cpp.o.d"
+  "bench/bench_ablation_fps"
+  "bench/bench_ablation_fps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_polling.dir/bench/bench_ablation_polling.cpp.o"
+  "CMakeFiles/bench_ablation_polling.dir/bench/bench_ablation_polling.cpp.o.d"
+  "bench/bench_ablation_polling"
+  "bench/bench_ablation_polling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_polling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_cdf_model.dir/bench/bench_ext_cdf_model.cpp.o"
+  "CMakeFiles/bench_ext_cdf_model.dir/bench/bench_ext_cdf_model.cpp.o.d"
+  "bench/bench_ext_cdf_model"
+  "bench/bench_ext_cdf_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_cdf_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_cpa.dir/bench/bench_ext_cpa.cpp.o"
+  "CMakeFiles/bench_ext_cpa.dir/bench/bench_ext_cpa.cpp.o.d"
+  "bench/bench_ext_cpa"
+  "bench/bench_ext_cpa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_cpa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

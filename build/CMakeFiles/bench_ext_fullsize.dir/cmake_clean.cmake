@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_fullsize.dir/bench/bench_ext_fullsize.cpp.o"
+  "CMakeFiles/bench_ext_fullsize.dir/bench/bench_ext_fullsize.cpp.o.d"
+  "bench/bench_ext_fullsize"
+  "bench/bench_ext_fullsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_fullsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_onboard_aeb.dir/bench/bench_ext_onboard_aeb.cpp.o"
+  "CMakeFiles/bench_ext_onboard_aeb.dir/bench/bench_ext_onboard_aeb.cpp.o.d"
+  "bench/bench_ext_onboard_aeb"
+  "bench/bench_ext_onboard_aeb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_onboard_aeb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

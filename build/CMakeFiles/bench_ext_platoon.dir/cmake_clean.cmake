@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_platoon.dir/bench/bench_ext_platoon.cpp.o"
+  "CMakeFiles/bench_ext_platoon.dir/bench/bench_ext_platoon.cpp.o.d"
+  "bench/bench_ext_platoon"
+  "bench/bench_ext_platoon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_platoon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_relay.dir/bench/bench_ext_relay.cpp.o"
+  "CMakeFiles/bench_ext_relay.dir/bench/bench_ext_relay.cpp.o.d"
+  "bench/bench_ext_relay"
+  "bench/bench_ext_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_frames.dir/bench/bench_fig10_frames.cpp.o"
+  "CMakeFiles/bench_fig10_frames.dir/bench/bench_fig10_frames.cpp.o.d"
+  "bench/bench_fig10_frames"
+  "bench/bench_fig10_frames.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_frames.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

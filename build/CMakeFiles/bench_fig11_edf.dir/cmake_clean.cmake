@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_edf.dir/bench/bench_fig11_edf.cpp.o"
+  "CMakeFiles/bench_fig11_edf.dir/bench/bench_fig11_edf.cpp.o.d"
+  "bench/bench_fig11_edf"
+  "bench/bench_fig11_edf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_edf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_causecodes.dir/bench/bench_table1_causecodes.cpp.o"
+  "CMakeFiles/bench_table1_causecodes.dir/bench/bench_table1_causecodes.cpp.o.d"
+  "bench/bench_table1_causecodes"
+  "bench/bench_table1_causecodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_causecodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_braking.dir/bench/bench_table3_braking.cpp.o"
+  "CMakeFiles/bench_table3_braking.dir/bench/bench_table3_braking.cpp.o.d"
+  "bench/bench_table3_braking"
+  "bench/bench_table3_braking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_braking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

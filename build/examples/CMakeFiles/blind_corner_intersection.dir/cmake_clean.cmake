@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blind_corner_intersection.dir/blind_corner_intersection.cpp.o"
+  "CMakeFiles/blind_corner_intersection.dir/blind_corner_intersection.cpp.o.d"
+  "blind_corner_intersection"
+  "blind_corner_intersection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blind_corner_intersection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

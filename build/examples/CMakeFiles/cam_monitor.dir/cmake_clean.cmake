@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cam_monitor.dir/cam_monitor.cpp.o"
+  "CMakeFiles/cam_monitor.dir/cam_monitor.cpp.o.d"
+  "cam_monitor"
+  "cam_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cam_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_capture.dir/frame_capture.cpp.o"
+  "CMakeFiles/frame_capture.dir/frame_capture.cpp.o.d"
+  "frame_capture"
+  "frame_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intersection_watch.dir/intersection_watch.cpp.o"
+  "CMakeFiles/intersection_watch.dir/intersection_watch.cpp.o.d"
+  "intersection_watch"
+  "intersection_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intersection_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

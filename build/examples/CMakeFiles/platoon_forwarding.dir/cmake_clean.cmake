@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platoon_forwarding.dir/platoon_forwarding.cpp.o"
+  "CMakeFiles/platoon_forwarding.dir/platoon_forwarding.cpp.o.d"
+  "platoon_forwarding"
+  "platoon_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platoon_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

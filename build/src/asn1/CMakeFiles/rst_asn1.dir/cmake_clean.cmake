@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rst_asn1.dir/bitbuffer.cpp.o"
+  "CMakeFiles/rst_asn1.dir/bitbuffer.cpp.o.d"
+  "CMakeFiles/rst_asn1.dir/per.cpp.o"
+  "CMakeFiles/rst_asn1.dir/per.cpp.o.d"
+  "librst_asn1.a"
+  "librst_asn1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rst_asn1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rst_cellular.dir/cellular_link.cpp.o"
+  "CMakeFiles/rst_cellular.dir/cellular_link.cpp.o.d"
+  "librst_cellular.a"
+  "librst_cellular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rst_cellular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

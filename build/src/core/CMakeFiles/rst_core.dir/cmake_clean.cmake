@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rst_core.dir/config_io.cpp.o"
+  "CMakeFiles/rst_core.dir/config_io.cpp.o.d"
+  "CMakeFiles/rst_core.dir/experiment.cpp.o"
+  "CMakeFiles/rst_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/rst_core.dir/its_station.cpp.o"
+  "CMakeFiles/rst_core.dir/its_station.cpp.o.d"
+  "CMakeFiles/rst_core.dir/platoon.cpp.o"
+  "CMakeFiles/rst_core.dir/platoon.cpp.o.d"
+  "CMakeFiles/rst_core.dir/scale_model.cpp.o"
+  "CMakeFiles/rst_core.dir/scale_model.cpp.o.d"
+  "CMakeFiles/rst_core.dir/testbed.cpp.o"
+  "CMakeFiles/rst_core.dir/testbed.cpp.o.d"
+  "librst_core.a"
+  "librst_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rst_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dot11p/channel.cpp" "src/dot11p/CMakeFiles/rst_dot11p.dir/channel.cpp.o" "gcc" "src/dot11p/CMakeFiles/rst_dot11p.dir/channel.cpp.o.d"
+  "/root/repo/src/dot11p/medium.cpp" "src/dot11p/CMakeFiles/rst_dot11p.dir/medium.cpp.o" "gcc" "src/dot11p/CMakeFiles/rst_dot11p.dir/medium.cpp.o.d"
+  "/root/repo/src/dot11p/phy_params.cpp" "src/dot11p/CMakeFiles/rst_dot11p.dir/phy_params.cpp.o" "gcc" "src/dot11p/CMakeFiles/rst_dot11p.dir/phy_params.cpp.o.d"
+  "/root/repo/src/dot11p/radio.cpp" "src/dot11p/CMakeFiles/rst_dot11p.dir/radio.cpp.o" "gcc" "src/dot11p/CMakeFiles/rst_dot11p.dir/radio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rst_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/rst_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

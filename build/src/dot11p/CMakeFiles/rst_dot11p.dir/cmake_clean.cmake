@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rst_dot11p.dir/channel.cpp.o"
+  "CMakeFiles/rst_dot11p.dir/channel.cpp.o.d"
+  "CMakeFiles/rst_dot11p.dir/medium.cpp.o"
+  "CMakeFiles/rst_dot11p.dir/medium.cpp.o.d"
+  "CMakeFiles/rst_dot11p.dir/phy_params.cpp.o"
+  "CMakeFiles/rst_dot11p.dir/phy_params.cpp.o.d"
+  "CMakeFiles/rst_dot11p.dir/radio.cpp.o"
+  "CMakeFiles/rst_dot11p.dir/radio.cpp.o.d"
+  "librst_dot11p.a"
+  "librst_dot11p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rst_dot11p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

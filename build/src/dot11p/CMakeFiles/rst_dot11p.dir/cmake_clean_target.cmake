@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librst_dot11p.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rst_dot11p.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for rst_dot11p.
+# This may be replaced when dependencies are built.

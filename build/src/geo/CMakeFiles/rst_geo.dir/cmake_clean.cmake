@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rst_geo.dir/geo_area.cpp.o"
+  "CMakeFiles/rst_geo.dir/geo_area.cpp.o.d"
+  "CMakeFiles/rst_geo.dir/geodesy.cpp.o"
+  "CMakeFiles/rst_geo.dir/geodesy.cpp.o.d"
+  "librst_geo.a"
+  "librst_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rst_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/its/dcc/adaptive_dcc.cpp" "src/its/CMakeFiles/rst_its.dir/dcc/adaptive_dcc.cpp.o" "gcc" "src/its/CMakeFiles/rst_its.dir/dcc/adaptive_dcc.cpp.o.d"
+  "/root/repo/src/its/dcc/channel_probe.cpp" "src/its/CMakeFiles/rst_its.dir/dcc/channel_probe.cpp.o" "gcc" "src/its/CMakeFiles/rst_its.dir/dcc/channel_probe.cpp.o.d"
+  "/root/repo/src/its/dcc/reactive_dcc.cpp" "src/its/CMakeFiles/rst_its.dir/dcc/reactive_dcc.cpp.o" "gcc" "src/its/CMakeFiles/rst_its.dir/dcc/reactive_dcc.cpp.o.d"
+  "/root/repo/src/its/facilities/ca_basic_service.cpp" "src/its/CMakeFiles/rst_its.dir/facilities/ca_basic_service.cpp.o" "gcc" "src/its/CMakeFiles/rst_its.dir/facilities/ca_basic_service.cpp.o.d"
+  "/root/repo/src/its/facilities/den_basic_service.cpp" "src/its/CMakeFiles/rst_its.dir/facilities/den_basic_service.cpp.o" "gcc" "src/its/CMakeFiles/rst_its.dir/facilities/den_basic_service.cpp.o.d"
+  "/root/repo/src/its/facilities/ldm.cpp" "src/its/CMakeFiles/rst_its.dir/facilities/ldm.cpp.o" "gcc" "src/its/CMakeFiles/rst_its.dir/facilities/ldm.cpp.o.d"
+  "/root/repo/src/its/messages/cam.cpp" "src/its/CMakeFiles/rst_its.dir/messages/cam.cpp.o" "gcc" "src/its/CMakeFiles/rst_its.dir/messages/cam.cpp.o.d"
+  "/root/repo/src/its/messages/cause_code.cpp" "src/its/CMakeFiles/rst_its.dir/messages/cause_code.cpp.o" "gcc" "src/its/CMakeFiles/rst_its.dir/messages/cause_code.cpp.o.d"
+  "/root/repo/src/its/messages/data_elements.cpp" "src/its/CMakeFiles/rst_its.dir/messages/data_elements.cpp.o" "gcc" "src/its/CMakeFiles/rst_its.dir/messages/data_elements.cpp.o.d"
+  "/root/repo/src/its/messages/denm.cpp" "src/its/CMakeFiles/rst_its.dir/messages/denm.cpp.o" "gcc" "src/its/CMakeFiles/rst_its.dir/messages/denm.cpp.o.d"
+  "/root/repo/src/its/network/btp.cpp" "src/its/CMakeFiles/rst_its.dir/network/btp.cpp.o" "gcc" "src/its/CMakeFiles/rst_its.dir/network/btp.cpp.o.d"
+  "/root/repo/src/its/network/btp_mux.cpp" "src/its/CMakeFiles/rst_its.dir/network/btp_mux.cpp.o" "gcc" "src/its/CMakeFiles/rst_its.dir/network/btp_mux.cpp.o.d"
+  "/root/repo/src/its/network/geonet.cpp" "src/its/CMakeFiles/rst_its.dir/network/geonet.cpp.o" "gcc" "src/its/CMakeFiles/rst_its.dir/network/geonet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rst_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/rst_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/rst_asn1.dir/DependInfo.cmake"
+  "/root/repo/build/src/dot11p/CMakeFiles/rst_dot11p.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

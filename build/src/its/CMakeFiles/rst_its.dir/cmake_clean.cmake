@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rst_its.dir/dcc/adaptive_dcc.cpp.o"
+  "CMakeFiles/rst_its.dir/dcc/adaptive_dcc.cpp.o.d"
+  "CMakeFiles/rst_its.dir/dcc/channel_probe.cpp.o"
+  "CMakeFiles/rst_its.dir/dcc/channel_probe.cpp.o.d"
+  "CMakeFiles/rst_its.dir/dcc/reactive_dcc.cpp.o"
+  "CMakeFiles/rst_its.dir/dcc/reactive_dcc.cpp.o.d"
+  "CMakeFiles/rst_its.dir/facilities/ca_basic_service.cpp.o"
+  "CMakeFiles/rst_its.dir/facilities/ca_basic_service.cpp.o.d"
+  "CMakeFiles/rst_its.dir/facilities/den_basic_service.cpp.o"
+  "CMakeFiles/rst_its.dir/facilities/den_basic_service.cpp.o.d"
+  "CMakeFiles/rst_its.dir/facilities/ldm.cpp.o"
+  "CMakeFiles/rst_its.dir/facilities/ldm.cpp.o.d"
+  "CMakeFiles/rst_its.dir/messages/cam.cpp.o"
+  "CMakeFiles/rst_its.dir/messages/cam.cpp.o.d"
+  "CMakeFiles/rst_its.dir/messages/cause_code.cpp.o"
+  "CMakeFiles/rst_its.dir/messages/cause_code.cpp.o.d"
+  "CMakeFiles/rst_its.dir/messages/data_elements.cpp.o"
+  "CMakeFiles/rst_its.dir/messages/data_elements.cpp.o.d"
+  "CMakeFiles/rst_its.dir/messages/denm.cpp.o"
+  "CMakeFiles/rst_its.dir/messages/denm.cpp.o.d"
+  "CMakeFiles/rst_its.dir/network/btp.cpp.o"
+  "CMakeFiles/rst_its.dir/network/btp.cpp.o.d"
+  "CMakeFiles/rst_its.dir/network/btp_mux.cpp.o"
+  "CMakeFiles/rst_its.dir/network/btp_mux.cpp.o.d"
+  "CMakeFiles/rst_its.dir/network/geonet.cpp.o"
+  "CMakeFiles/rst_its.dir/network/geonet.cpp.o.d"
+  "librst_its.a"
+  "librst_its.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rst_its.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/middleware/ascii_map.cpp" "src/middleware/CMakeFiles/rst_middleware.dir/ascii_map.cpp.o" "gcc" "src/middleware/CMakeFiles/rst_middleware.dir/ascii_map.cpp.o.d"
+  "/root/repo/src/middleware/frame_log.cpp" "src/middleware/CMakeFiles/rst_middleware.dir/frame_log.cpp.o" "gcc" "src/middleware/CMakeFiles/rst_middleware.dir/frame_log.cpp.o.d"
+  "/root/repo/src/middleware/http.cpp" "src/middleware/CMakeFiles/rst_middleware.dir/http.cpp.o" "gcc" "src/middleware/CMakeFiles/rst_middleware.dir/http.cpp.o.d"
+  "/root/repo/src/middleware/kv.cpp" "src/middleware/CMakeFiles/rst_middleware.dir/kv.cpp.o" "gcc" "src/middleware/CMakeFiles/rst_middleware.dir/kv.cpp.o.d"
+  "/root/repo/src/middleware/message_bus.cpp" "src/middleware/CMakeFiles/rst_middleware.dir/message_bus.cpp.o" "gcc" "src/middleware/CMakeFiles/rst_middleware.dir/message_bus.cpp.o.d"
+  "/root/repo/src/middleware/ntp.cpp" "src/middleware/CMakeFiles/rst_middleware.dir/ntp.cpp.o" "gcc" "src/middleware/CMakeFiles/rst_middleware.dir/ntp.cpp.o.d"
+  "/root/repo/src/middleware/openc2x_api.cpp" "src/middleware/CMakeFiles/rst_middleware.dir/openc2x_api.cpp.o" "gcc" "src/middleware/CMakeFiles/rst_middleware.dir/openc2x_api.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rst_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/rst_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/its/CMakeFiles/rst_its.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/rst_asn1.dir/DependInfo.cmake"
+  "/root/repo/build/src/dot11p/CMakeFiles/rst_dot11p.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

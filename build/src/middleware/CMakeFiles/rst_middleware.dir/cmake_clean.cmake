@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rst_middleware.dir/ascii_map.cpp.o"
+  "CMakeFiles/rst_middleware.dir/ascii_map.cpp.o.d"
+  "CMakeFiles/rst_middleware.dir/frame_log.cpp.o"
+  "CMakeFiles/rst_middleware.dir/frame_log.cpp.o.d"
+  "CMakeFiles/rst_middleware.dir/http.cpp.o"
+  "CMakeFiles/rst_middleware.dir/http.cpp.o.d"
+  "CMakeFiles/rst_middleware.dir/kv.cpp.o"
+  "CMakeFiles/rst_middleware.dir/kv.cpp.o.d"
+  "CMakeFiles/rst_middleware.dir/message_bus.cpp.o"
+  "CMakeFiles/rst_middleware.dir/message_bus.cpp.o.d"
+  "CMakeFiles/rst_middleware.dir/ntp.cpp.o"
+  "CMakeFiles/rst_middleware.dir/ntp.cpp.o.d"
+  "CMakeFiles/rst_middleware.dir/openc2x_api.cpp.o"
+  "CMakeFiles/rst_middleware.dir/openc2x_api.cpp.o.d"
+  "librst_middleware.a"
+  "librst_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rst_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/roadside/associator.cpp" "src/roadside/CMakeFiles/rst_roadside.dir/associator.cpp.o" "gcc" "src/roadside/CMakeFiles/rst_roadside.dir/associator.cpp.o.d"
+  "/root/repo/src/roadside/camera.cpp" "src/roadside/CMakeFiles/rst_roadside.dir/camera.cpp.o" "gcc" "src/roadside/CMakeFiles/rst_roadside.dir/camera.cpp.o.d"
+  "/root/repo/src/roadside/collision_predictor.cpp" "src/roadside/CMakeFiles/rst_roadside.dir/collision_predictor.cpp.o" "gcc" "src/roadside/CMakeFiles/rst_roadside.dir/collision_predictor.cpp.o.d"
+  "/root/repo/src/roadside/hazard_service.cpp" "src/roadside/CMakeFiles/rst_roadside.dir/hazard_service.cpp.o" "gcc" "src/roadside/CMakeFiles/rst_roadside.dir/hazard_service.cpp.o.d"
+  "/root/repo/src/roadside/object_detection_service.cpp" "src/roadside/CMakeFiles/rst_roadside.dir/object_detection_service.cpp.o" "gcc" "src/roadside/CMakeFiles/rst_roadside.dir/object_detection_service.cpp.o.d"
+  "/root/repo/src/roadside/tracker.cpp" "src/roadside/CMakeFiles/rst_roadside.dir/tracker.cpp.o" "gcc" "src/roadside/CMakeFiles/rst_roadside.dir/tracker.cpp.o.d"
+  "/root/repo/src/roadside/yolo_sim.cpp" "src/roadside/CMakeFiles/rst_roadside.dir/yolo_sim.cpp.o" "gcc" "src/roadside/CMakeFiles/rst_roadside.dir/yolo_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rst_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/rst_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/middleware/CMakeFiles/rst_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/its/CMakeFiles/rst_its.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/rst_asn1.dir/DependInfo.cmake"
+  "/root/repo/build/src/dot11p/CMakeFiles/rst_dot11p.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rst_roadside.dir/associator.cpp.o"
+  "CMakeFiles/rst_roadside.dir/associator.cpp.o.d"
+  "CMakeFiles/rst_roadside.dir/camera.cpp.o"
+  "CMakeFiles/rst_roadside.dir/camera.cpp.o.d"
+  "CMakeFiles/rst_roadside.dir/collision_predictor.cpp.o"
+  "CMakeFiles/rst_roadside.dir/collision_predictor.cpp.o.d"
+  "CMakeFiles/rst_roadside.dir/hazard_service.cpp.o"
+  "CMakeFiles/rst_roadside.dir/hazard_service.cpp.o.d"
+  "CMakeFiles/rst_roadside.dir/object_detection_service.cpp.o"
+  "CMakeFiles/rst_roadside.dir/object_detection_service.cpp.o.d"
+  "CMakeFiles/rst_roadside.dir/tracker.cpp.o"
+  "CMakeFiles/rst_roadside.dir/tracker.cpp.o.d"
+  "CMakeFiles/rst_roadside.dir/yolo_sim.cpp.o"
+  "CMakeFiles/rst_roadside.dir/yolo_sim.cpp.o.d"
+  "librst_roadside.a"
+  "librst_roadside.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rst_roadside.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rst_sim.dir/random.cpp.o"
+  "CMakeFiles/rst_sim.dir/random.cpp.o.d"
+  "CMakeFiles/rst_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/rst_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/rst_sim.dir/stats.cpp.o"
+  "CMakeFiles/rst_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/rst_sim.dir/trace.cpp.o"
+  "CMakeFiles/rst_sim.dir/trace.cpp.o.d"
+  "librst_sim.a"
+  "librst_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rst_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

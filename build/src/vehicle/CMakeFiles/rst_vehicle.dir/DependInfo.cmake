@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vehicle/cacc.cpp" "src/vehicle/CMakeFiles/rst_vehicle.dir/cacc.cpp.o" "gcc" "src/vehicle/CMakeFiles/rst_vehicle.dir/cacc.cpp.o.d"
+  "/root/repo/src/vehicle/control_module.cpp" "src/vehicle/CMakeFiles/rst_vehicle.dir/control_module.cpp.o" "gcc" "src/vehicle/CMakeFiles/rst_vehicle.dir/control_module.cpp.o.d"
+  "/root/repo/src/vehicle/dynamics.cpp" "src/vehicle/CMakeFiles/rst_vehicle.dir/dynamics.cpp.o" "gcc" "src/vehicle/CMakeFiles/rst_vehicle.dir/dynamics.cpp.o.d"
+  "/root/repo/src/vehicle/gnss.cpp" "src/vehicle/CMakeFiles/rst_vehicle.dir/gnss.cpp.o" "gcc" "src/vehicle/CMakeFiles/rst_vehicle.dir/gnss.cpp.o.d"
+  "/root/repo/src/vehicle/imu.cpp" "src/vehicle/CMakeFiles/rst_vehicle.dir/imu.cpp.o" "gcc" "src/vehicle/CMakeFiles/rst_vehicle.dir/imu.cpp.o.d"
+  "/root/repo/src/vehicle/lidar.cpp" "src/vehicle/CMakeFiles/rst_vehicle.dir/lidar.cpp.o" "gcc" "src/vehicle/CMakeFiles/rst_vehicle.dir/lidar.cpp.o.d"
+  "/root/repo/src/vehicle/line_detection.cpp" "src/vehicle/CMakeFiles/rst_vehicle.dir/line_detection.cpp.o" "gcc" "src/vehicle/CMakeFiles/rst_vehicle.dir/line_detection.cpp.o.d"
+  "/root/repo/src/vehicle/message_handler.cpp" "src/vehicle/CMakeFiles/rst_vehicle.dir/message_handler.cpp.o" "gcc" "src/vehicle/CMakeFiles/rst_vehicle.dir/message_handler.cpp.o.d"
+  "/root/repo/src/vehicle/motion_planner.cpp" "src/vehicle/CMakeFiles/rst_vehicle.dir/motion_planner.cpp.o" "gcc" "src/vehicle/CMakeFiles/rst_vehicle.dir/motion_planner.cpp.o.d"
+  "/root/repo/src/vehicle/track.cpp" "src/vehicle/CMakeFiles/rst_vehicle.dir/track.cpp.o" "gcc" "src/vehicle/CMakeFiles/rst_vehicle.dir/track.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rst_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/rst_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/middleware/CMakeFiles/rst_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/its/CMakeFiles/rst_its.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/rst_asn1.dir/DependInfo.cmake"
+  "/root/repo/build/src/dot11p/CMakeFiles/rst_dot11p.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

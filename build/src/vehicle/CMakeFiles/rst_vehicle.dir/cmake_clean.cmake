@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rst_vehicle.dir/cacc.cpp.o"
+  "CMakeFiles/rst_vehicle.dir/cacc.cpp.o.d"
+  "CMakeFiles/rst_vehicle.dir/control_module.cpp.o"
+  "CMakeFiles/rst_vehicle.dir/control_module.cpp.o.d"
+  "CMakeFiles/rst_vehicle.dir/dynamics.cpp.o"
+  "CMakeFiles/rst_vehicle.dir/dynamics.cpp.o.d"
+  "CMakeFiles/rst_vehicle.dir/gnss.cpp.o"
+  "CMakeFiles/rst_vehicle.dir/gnss.cpp.o.d"
+  "CMakeFiles/rst_vehicle.dir/imu.cpp.o"
+  "CMakeFiles/rst_vehicle.dir/imu.cpp.o.d"
+  "CMakeFiles/rst_vehicle.dir/lidar.cpp.o"
+  "CMakeFiles/rst_vehicle.dir/lidar.cpp.o.d"
+  "CMakeFiles/rst_vehicle.dir/line_detection.cpp.o"
+  "CMakeFiles/rst_vehicle.dir/line_detection.cpp.o.d"
+  "CMakeFiles/rst_vehicle.dir/message_handler.cpp.o"
+  "CMakeFiles/rst_vehicle.dir/message_handler.cpp.o.d"
+  "CMakeFiles/rst_vehicle.dir/motion_planner.cpp.o"
+  "CMakeFiles/rst_vehicle.dir/motion_planner.cpp.o.d"
+  "CMakeFiles/rst_vehicle.dir/track.cpp.o"
+  "CMakeFiles/rst_vehicle.dir/track.cpp.o.d"
+  "librst_vehicle.a"
+  "librst_vehicle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rst_vehicle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascii_map_test.dir/ascii_map_test.cpp.o"
+  "CMakeFiles/ascii_map_test.dir/ascii_map_test.cpp.o.d"
+  "ascii_map_test"
+  "ascii_map_test.pdb"
+  "ascii_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascii_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/associator_test.dir/associator_test.cpp.o"
+  "CMakeFiles/associator_test.dir/associator_test.cpp.o.d"
+  "associator_test"
+  "associator_test.pdb"
+  "associator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/associator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cacc_test.dir/cacc_test.cpp.o"
+  "CMakeFiles/cacc_test.dir/cacc_test.cpp.o.d"
+  "cacc_test"
+  "cacc_test.pdb"
+  "cacc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cacc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collision_predictor_test.dir/collision_predictor_test.cpp.o"
+  "CMakeFiles/collision_predictor_test.dir/collision_predictor_test.cpp.o.d"
+  "collision_predictor_test"
+  "collision_predictor_test.pdb"
+  "collision_predictor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collision_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

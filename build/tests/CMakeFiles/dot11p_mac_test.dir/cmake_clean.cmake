@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dot11p_mac_test.dir/dot11p_mac_test.cpp.o"
+  "CMakeFiles/dot11p_mac_test.dir/dot11p_mac_test.cpp.o.d"
+  "dot11p_mac_test"
+  "dot11p_mac_test.pdb"
+  "dot11p_mac_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dot11p_mac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facilities_test.dir/facilities_test.cpp.o"
+  "CMakeFiles/facilities_test.dir/facilities_test.cpp.o.d"
+  "facilities_test"
+  "facilities_test.pdb"
+  "facilities_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facilities_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

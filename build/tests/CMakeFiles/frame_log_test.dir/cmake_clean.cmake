@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_log_test.dir/frame_log_test.cpp.o"
+  "CMakeFiles/frame_log_test.dir/frame_log_test.cpp.o.d"
+  "frame_log_test"
+  "frame_log_test.pdb"
+  "frame_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geonet_test.dir/geonet_test.cpp.o"
+  "CMakeFiles/geonet_test.dir/geonet_test.cpp.o.d"
+  "geonet_test"
+  "geonet_test.pdb"
+  "geonet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geonet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnss_test.dir/gnss_test.cpp.o"
+  "CMakeFiles/gnss_test.dir/gnss_test.cpp.o.d"
+  "gnss_test"
+  "gnss_test.pdb"
+  "gnss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gnss_test.
+# This may be replaced when dependencies are built.

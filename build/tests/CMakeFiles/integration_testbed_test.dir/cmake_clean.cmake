@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_testbed_test.dir/integration_testbed_test.cpp.o"
+  "CMakeFiles/integration_testbed_test.dir/integration_testbed_test.cpp.o.d"
+  "integration_testbed_test"
+  "integration_testbed_test.pdb"
+  "integration_testbed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_testbed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/its_messages_test.cpp" "tests/CMakeFiles/its_messages_test.dir/its_messages_test.cpp.o" "gcc" "tests/CMakeFiles/its_messages_test.dir/its_messages_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rst_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vehicle/CMakeFiles/rst_vehicle.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadside/CMakeFiles/rst_roadside.dir/DependInfo.cmake"
+  "/root/repo/build/src/middleware/CMakeFiles/rst_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/its/CMakeFiles/rst_its.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/rst_asn1.dir/DependInfo.cmake"
+  "/root/repo/build/src/dot11p/CMakeFiles/rst_dot11p.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellular/CMakeFiles/rst_cellular.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rst_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/rst_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

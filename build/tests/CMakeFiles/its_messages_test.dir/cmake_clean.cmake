@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/its_messages_test.dir/its_messages_test.cpp.o"
+  "CMakeFiles/its_messages_test.dir/its_messages_test.cpp.o.d"
+  "its_messages_test"
+  "its_messages_test.pdb"
+  "its_messages_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/its_messages_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

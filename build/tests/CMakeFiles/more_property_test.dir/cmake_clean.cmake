@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/more_property_test.dir/more_property_test.cpp.o"
+  "CMakeFiles/more_property_test.dir/more_property_test.cpp.o.d"
+  "more_property_test"
+  "more_property_test.pdb"
+  "more_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/more_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openc2x_api_test.dir/openc2x_api_test.cpp.o"
+  "CMakeFiles/openc2x_api_test.dir/openc2x_api_test.cpp.o.d"
+  "openc2x_api_test"
+  "openc2x_api_test.pdb"
+  "openc2x_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openc2x_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadside_test.dir/roadside_test.cpp.o"
+  "CMakeFiles/roadside_test.dir/roadside_test.cpp.o.d"
+  "roadside_test"
+  "roadside_test.pdb"
+  "roadside_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadside_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vehicle_test.dir/vehicle_test.cpp.o"
+  "CMakeFiles/vehicle_test.dir/vehicle_test.cpp.o.d"
+  "vehicle_test"
+  "vehicle_test.pdb"
+  "vehicle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vehicle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
