@@ -8,6 +8,7 @@
 #include "rst/core/experiment.hpp"
 
 int main() {
+  const unsigned threads = rst::core::experiment_threads_from_env();
   const long periods_ms[] = {100, 250, 500, 1000};  // 10, 4, 2, 1 FPS
   constexpr int kRuns = 25;
 
@@ -23,7 +24,7 @@ int main() {
     rst::core::TestbedConfig config;
     config.seed = 11000 + static_cast<std::uint64_t>(period);
     config.detection.processing_period = rst::sim::SimTime::milliseconds(period);
-    const auto summary = rst::core::run_emergency_brake_experiment(config, kRuns);
+    const auto summary = rst::core::run_emergency_brake_experiment(config, kRuns, threads);
     rst::sim::RunningStats margin;
     for (const auto& t : summary.trials) {
       if (t.stopped_by_denm) {

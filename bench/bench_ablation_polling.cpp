@@ -9,6 +9,7 @@
 #include "rst/core/experiment.hpp"
 
 int main() {
+  const unsigned threads = rst::core::experiment_threads_from_env();
   const long periods_ms[] = {5, 10, 20, 50, 100};
   constexpr int kRuns = 25;
 
@@ -23,7 +24,7 @@ int main() {
     rst::core::TestbedConfig config;
     config.seed = 9000 + static_cast<std::uint64_t>(period);
     config.message_handler.poll_period = rst::sim::SimTime::milliseconds(period);
-    const auto summary = rst::core::run_emergency_brake_experiment(config, kRuns);
+    const auto summary = rst::core::run_emergency_brake_experiment(config, kRuns, threads);
     all_ok = all_ok && summary.failures == 0;
     std::printf("  %9ld   %16.1f   %10.1f   %10.1f   %9.1f\n", period,
                 summary.obu_to_actuator_ms.mean(), summary.obu_to_actuator_ms.max(),

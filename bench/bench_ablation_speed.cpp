@@ -10,6 +10,7 @@
 #include "rst/core/experiment.hpp"
 
 int main() {
+  const unsigned threads = rst::core::experiment_threads_from_env();
   constexpr int kRuns = 20;
   const double speeds[] = {0.8, 1.2, 1.6, 2.0, 2.4};
 
@@ -24,7 +25,7 @@ int main() {
     rst::core::TestbedConfig config;
     config.seed = 13000 + static_cast<std::uint64_t>(speed * 10);
     config.planner.target_speed_mps = speed;
-    const auto summary = rst::core::run_emergency_brake_experiment(config, kRuns);
+    const auto summary = rst::core::run_emergency_brake_experiment(config, kRuns, threads);
     rst::sim::RunningStats margin;
     int overruns = 0;
     for (const auto& t : summary.trials) {

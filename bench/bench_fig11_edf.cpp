@@ -23,18 +23,23 @@ void print_edf(const rst::sim::Edf& edf) {
 }  // namespace
 
 int main() {
+  // RST_THREADS fans the trial sweeps over a worker pool (0/unset = auto);
+  // every reported number is identical at any thread count.
+  const unsigned threads = rst::core::experiment_threads_from_env();
+  std::printf("[threads: %u]\n\n", rst::core::resolve_experiment_threads(threads));
+
   rst::core::TestbedConfig config;
   config.seed = 42;
 
   std::printf("=== Fig. 11a: EDF of the paper-protocol 5-run campaign ===\n");
-  const auto small = rst::core::run_emergency_brake_experiment(config, 5);
+  const auto small = rst::core::run_emergency_brake_experiment(config, 5, threads);
   const rst::sim::Edf small_edf{small.total_samples_ms()};
   print_edf(small_edf);
 
   std::printf("\n=== Fig. 11b: comprehensive EDF, 200 runs (paper future work) ===\n");
   rst::core::TestbedConfig big_config = config;
   big_config.seed = 5000;
-  const auto big = rst::core::run_emergency_brake_experiment(big_config, 200);
+  const auto big = rst::core::run_emergency_brake_experiment(big_config, 200, threads);
   const rst::sim::Edf edf{big.total_samples_ms()};
   rst::sim::Histogram hist{30.0, 100.0, 14};
   for (double v : big.total_samples_ms()) hist.add(v);

@@ -9,17 +9,22 @@
 #include "rst/core/experiment.hpp"
 
 int main() {
+  // RST_THREADS fans the trial sweeps over a worker pool (0/unset = auto);
+  // every reported number is identical at any thread count.
+  const unsigned threads = rst::core::experiment_threads_from_env();
+  std::printf("[threads: %u]\n\n", rst::core::resolve_experiment_threads(threads));
+
   rst::core::TestbedConfig config;
   config.seed = 42;
 
   std::printf("=== Table II: 5-run campaign (paper protocol) ===\n");
-  const auto paper_scale = rst::core::run_emergency_brake_experiment(config, 5);
+  const auto paper_scale = rst::core::run_emergency_brake_experiment(config, 5, threads);
   std::printf("%s\n", rst::core::format_table2(paper_scale).c_str());
 
   std::printf("=== Extended 50-run campaign ===\n");
   rst::core::TestbedConfig extended = config;
   extended.seed = 4242;
-  const auto ext = rst::core::run_emergency_brake_experiment(extended, 50);
+  const auto ext = rst::core::run_emergency_brake_experiment(extended, 50, threads);
   const auto row = [](const char* label, const rst::sim::RunningStats& s, double paper_avg) {
     std::printf("  %-28s mean %6.1f ms  sd %5.1f  min %6.1f  max %6.1f   (paper avg %.1f)\n",
                 label, s.mean(), s.stddev(), s.min(), s.max(), paper_avg);

@@ -8,17 +8,22 @@
 #include "rst/core/experiment.hpp"
 
 int main() {
+  // RST_THREADS fans the trial sweeps over a worker pool (0/unset = auto);
+  // every reported number is identical at any thread count.
+  const unsigned threads = rst::core::experiment_threads_from_env();
+  std::printf("[threads: %u]\n\n", rst::core::resolve_experiment_threads(threads));
+
   rst::core::TestbedConfig config;
   config.seed = 777;
 
   std::printf("=== Table III: 7-run campaign (paper protocol) ===\n");
-  const auto paper_scale = rst::core::run_emergency_brake_experiment(config, 7);
+  const auto paper_scale = rst::core::run_emergency_brake_experiment(config, 7, threads);
   std::printf("%s\n", rst::core::format_table3(paper_scale).c_str());
 
   std::printf("=== Extended 60-run campaign ===\n");
   rst::core::TestbedConfig extended = config;
   extended.seed = 7777;
-  const auto ext = rst::core::run_emergency_brake_experiment(extended, 60);
+  const auto ext = rst::core::run_emergency_brake_experiment(extended, 60, threads);
   const auto& d = ext.braking_distance_m;
   std::printf("  braking distance: mean %.3f m  sd %.3f  min %.2f  max %.2f  var %.4f\n",
               d.mean(), d.stddev(), d.min(), d.max(), d.population_variance());

@@ -3,12 +3,15 @@
 // authors ran their five (Table II) and seven (Table III) trials.
 //
 // Usage:
-//   run_experiment [--trials N] [--seed S] [--poll-ms P] [--fps F]
-//                  [--speed V] [--action-point D]
+//   run_experiment [--trials N] [--seed S] [--threads T] [--poll-ms P]
+//                  [--fps F] [--speed V] [--action-point D]
 //                  [--bearer its-g5|embb|urllc] [--csv]
 //
 // Prints the Table II/III style summary; --csv additionally dumps one line
-// per trial for external analysis.
+// per trial for external analysis. --threads fans the trials out over a
+// worker pool (0 = hardware concurrency, 1 = serial; the default is the
+// RST_THREADS environment variable, else auto) — results are identical at
+// any thread count.
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,8 +27,8 @@ namespace {
 
 void usage(const char* argv0) {
   std::printf(
-      "usage: %s [--trials N] [--seed S] [--poll-ms P] [--fps F] [--speed V]\n"
-      "          [--action-point D] [--bearer its-g5|embb|urllc] [--csv]\n"
+      "usage: %s [--trials N] [--seed S] [--threads T] [--poll-ms P] [--fps F]\n"
+      "          [--speed V] [--action-point D] [--bearer its-g5|embb|urllc] [--csv]\n"
       "          [--config FILE] [--list-config-keys]\n",
       argv0);
 }
@@ -34,6 +37,7 @@ void usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   int trials = 10;
+  unsigned threads = rst::core::experiment_threads_from_env();
   rst::core::TestbedConfig config;
   config.seed = 1;
   bool csv = false;
@@ -49,6 +53,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--trials") {
       trials = std::atoi(next());
+    } else if (arg == "--threads") {
+      threads = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--seed") {
       config.seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--poll-ms") {
@@ -103,9 +109,11 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::printf("Running %d emergency-braking trials (seed %llu)...\n\n", trials,
-              static_cast<unsigned long long>(config.seed));
-  const auto summary = rst::core::run_emergency_brake_experiment(config, trials);
+  std::printf("Running %d emergency-braking trials (seed %llu, %u thread%s)...\n\n", trials,
+              static_cast<unsigned long long>(config.seed),
+              rst::core::resolve_experiment_threads(threads),
+              rst::core::resolve_experiment_threads(threads) == 1 ? "" : "s");
+  const auto summary = rst::core::run_emergency_brake_experiment(config, trials, threads);
   std::printf("%s\n%s\n", rst::core::format_table2(summary, trials).c_str(),
               rst::core::format_table3(summary, trials).c_str());
   if (summary.failures > 0) {

@@ -24,8 +24,22 @@ struct ExperimentSummary {
 
 /// Runs `n` independent emergency-braking trials (fresh testbed per trial,
 /// seeds seed+0..n-1) and aggregates the paper's Table II/III quantities.
+///
+/// `threads` fans the trials out over a sim::TrialPool: 0 (the default)
+/// selects hardware_concurrency, 1 keeps the legacy serial path. Trials are
+/// collected in seed order and the summary stats are accumulated from that
+/// ordered vector, so the result — including the format_table2/format_table3
+/// renderings — is identical at any thread count.
 [[nodiscard]] ExperimentSummary run_emergency_brake_experiment(const TestbedConfig& base_config,
-                                                               int n_trials);
+                                                               int n_trials, unsigned threads = 0);
+
+/// Resolves the thread-count knob: 0 -> hardware_concurrency (at least 1).
+[[nodiscard]] unsigned resolve_experiment_threads(unsigned threads);
+
+/// Thread-count knob for benches and examples: reads the RST_THREADS
+/// environment variable (0 = auto); returns `fallback` when unset or
+/// unparsable.
+[[nodiscard]] unsigned experiment_threads_from_env(unsigned fallback = 0);
 
 /// Renders a Table II-style report (paper rows vs measured) to a string.
 [[nodiscard]] std::string format_table2(const ExperimentSummary& summary, int max_rows = 5);

@@ -32,6 +32,12 @@ class Medium {
   void attach(Radio* radio);
   void detach(Radio* radio);
 
+  /// Hands out locally-administered MAC addresses to attaching radios.
+  /// Per-medium (not process-global) so concurrent scenarios in different
+  /// threads never share mutable state and every scenario sees the same
+  /// address sequence regardless of what ran before it in the process.
+  [[nodiscard]] std::uint64_t allocate_mac() { return next_mac_++; }
+
   /// Called by Radio when its MAC wins channel access. `psdu_bytes` is the
   /// on-air PSDU size (payload + MAC overhead).
   void begin_transmission(Radio* tx, Frame frame, std::size_t psdu_bytes);
@@ -72,6 +78,7 @@ class Medium {
   std::vector<Radio*> radios_;
   std::vector<std::shared_ptr<Transmission>> transmissions_;
   Stats stats_;
+  std::uint64_t next_mac_{0x020000000001ULL};  // locally administered
 };
 
 }  // namespace rst::dot11p

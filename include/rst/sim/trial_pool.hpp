@@ -1,0 +1,75 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace rst::sim {
+
+/// Fixed-size worker pool for fanning independent, index-seeded trials out
+/// across threads. The intended shape is Monte-Carlo sweeps: N tasks, each
+/// owning its own simulation state (a fresh TestbedScenario/Scheduler), so
+/// the only shared object is the pool itself.
+///
+/// Tasks are claimed by index under the pool mutex rather than an atomic
+/// counter — each task is a whole simulation run, so claim contention is
+/// negligible and every shared field stays mutex-guarded, which keeps the
+/// pool trivially clean under ThreadSanitizer.
+///
+/// Determinism contract: task `i` receives its index regardless of which
+/// worker runs it or in what order tasks finish, so writing task i's output
+/// to slot i (what `map()` does) yields results in index order, independent
+/// of the thread count.
+class TrialPool {
+ public:
+  /// `threads == 0` selects std::thread::hardware_concurrency() (at least 1).
+  explicit TrialPool(unsigned threads = 0);
+  ~TrialPool();
+  TrialPool(const TrialPool&) = delete;
+  TrialPool& operator=(const TrialPool&) = delete;
+
+  [[nodiscard]] unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs fn(i) for every i in [0, n) across the workers and blocks until
+  /// all n tasks have finished. The first exception thrown by a task is
+  /// captured and rethrown here after the batch drains (remaining tasks
+  /// still run); the pool stays usable for further batches. Not reentrant:
+  /// calling run_indexed from inside a task deadlocks.
+  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Maps fn over [0, n) and returns the results in index order.
+  template <typename Fn>
+  auto map(std::size_t n, Fn&& fn) -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+    using R = std::invoke_result_t<Fn&, std::size_t>;
+    static_assert(std::is_default_constructible_v<R>,
+                  "TrialPool::map needs a default-constructible result type");
+    std::vector<R> out(n);
+    run_indexed(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;  ///< signalled on new batch / shutdown
+  std::condition_variable cv_done_;  ///< signalled when a batch completes
+
+  // Batch state, all guarded by mu_.
+  std::uint64_t generation_{0};  ///< bumped per batch; stale workers detect it
+  std::size_t batch_n_{0};
+  std::size_t next_index_{0};
+  std::size_t completed_{0};
+  const std::function<void(std::size_t)>* batch_fn_{nullptr};
+  std::exception_ptr first_error_;
+  bool stop_{false};
+};
+
+}  // namespace rst::sim

@@ -1,6 +1,11 @@
 #include "rst/core/experiment.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "rst/sim/trial_pool.hpp"
 
 namespace rst::core {
 
@@ -20,13 +25,45 @@ std::vector<double> ExperimentSummary::braking_samples_m() const {
   return out;
 }
 
-ExperimentSummary run_emergency_brake_experiment(const TestbedConfig& base_config, int n_trials) {
+unsigned resolve_experiment_threads(unsigned threads) {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+unsigned experiment_threads_from_env(unsigned fallback) {
+  const char* raw = std::getenv("RST_THREADS");
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return static_cast<unsigned>(value);
+}
+
+ExperimentSummary run_emergency_brake_experiment(const TestbedConfig& base_config, int n_trials,
+                                                 unsigned threads) {
   ExperimentSummary summary;
-  for (int i = 0; i < n_trials; ++i) {
+  if (n_trials <= 0) return summary;
+  summary.trials.resize(static_cast<std::size_t>(n_trials));
+  // Trial i is fully determined by seed+i and owns every piece of simulation
+  // state, so it can run on any worker; slot i keeps the seed order.
+  const auto run_one = [&](std::size_t i) {
     TestbedConfig config = base_config;
     config.seed = base_config.seed + static_cast<std::uint64_t>(i);
     TestbedScenario scenario{config};
-    TrialResult r = scenario.run_emergency_brake_trial();
+    summary.trials[i] = scenario.run_emergency_brake_trial();
+  };
+  const unsigned resolved = resolve_experiment_threads(threads);
+  if (resolved <= 1) {
+    for (std::size_t i = 0; i < summary.trials.size(); ++i) run_one(i);
+  } else {
+    sim::TrialPool pool{static_cast<unsigned>(
+        std::min<std::size_t>(resolved, summary.trials.size()))};
+    pool.run_indexed(summary.trials.size(), run_one);
+  }
+  // Stats accumulate from the seed-ordered vector, never in completion
+  // order, so the aggregate is bit-identical at any thread count.
+  for (const auto& r : summary.trials) {
     if (r.stopped_by_denm) {
       summary.detection_to_rsu_ms.add(r.meas_detection_to_rsu_ms);
       summary.rsu_to_obu_ms.add(r.meas_rsu_to_obu_ms);
@@ -36,7 +73,6 @@ ExperimentSummary run_emergency_brake_experiment(const TestbedConfig& base_confi
     } else {
       ++summary.failures;
     }
-    summary.trials.push_back(std::move(r));
   }
   return summary;
 }

@@ -4,13 +4,6 @@
 
 namespace rst::dot11p {
 
-namespace {
-std::uint64_t next_mac() {
-  static std::uint64_t counter = 0x020000000001ULL;  // locally administered
-  return counter++;
-}
-}  // namespace
-
 Radio::Radio(Medium& medium, RadioConfig config, PositionProvider position, sim::RandomStream rng,
              std::string name)
     : medium_{medium},
@@ -18,7 +11,7 @@ Radio::Radio(Medium& medium, RadioConfig config, PositionProvider position, sim:
       position_{std::move(position)},
       rng_{rng.child("mac." + name)},
       name_{std::move(name)},
-      mac_{next_mac()},
+      mac_{medium.allocate_mac()},
       idle_since_{medium.scheduler().now()} {
   medium_.attach(this);
 }

@@ -1,0 +1,68 @@
+#include "rst/sim/trial_pool.hpp"
+
+namespace rst::sim {
+
+TrialPool::TrialPool(unsigned threads) {
+  unsigned n = threads == 0 ? std::thread::hardware_concurrency() : threads;
+  if (n == 0) n = 1;
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+TrialPool::~TrialPool() {
+  {
+    std::lock_guard lk{mu_};
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void TrialPool::run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  std::unique_lock lk{mu_};
+  batch_fn_ = &fn;
+  batch_n_ = n;
+  next_index_ = 0;
+  completed_ = 0;
+  first_error_ = nullptr;
+  ++generation_;
+  cv_work_.notify_all();
+  cv_done_.wait(lk, [&] { return completed_ == batch_n_; });
+  batch_fn_ = nullptr;
+  const std::exception_ptr error = first_error_;
+  first_error_ = nullptr;
+  lk.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+void TrialPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  std::unique_lock lk{mu_};
+  for (;;) {
+    cv_work_.wait(lk, [&] { return stop_ || generation_ != seen_generation; });
+    if (stop_) return;
+    seen_generation = generation_;
+    const std::function<void(std::size_t)>* fn = batch_fn_;
+    // A new batch can only start after this one fully drains (run_indexed
+    // blocks on completed_ == batch_n_), so while tasks remain, fn and the
+    // batch fields belong to generation `seen_generation`.
+    while (generation_ == seen_generation && next_index_ < batch_n_) {
+      const std::size_t index = next_index_++;
+      lk.unlock();
+      std::exception_ptr error;
+      try {
+        (*fn)(index);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      lk.lock();
+      if (error && !first_error_) first_error_ = error;
+      if (++completed_ == batch_n_) cv_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace rst::sim

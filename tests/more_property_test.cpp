@@ -1,15 +1,19 @@
 // Second parameterized property-sweep batch: NTP discipline across drift
 // magnitudes, DCC gate spacing across load states, wire round-trips of the
-// GeoNetworking area encoding, and KAF behaviour across validity spans.
+// GeoNetworking area encoding, KAF behaviour across validity spans, and
+// RunningStats::merge over random sample partitions (guards the parallel
+// trial aggregation path).
 
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <vector>
 
 #include "rst/its/dcc/reactive_dcc.hpp"
 #include "rst/its/network/geonet.hpp"
 #include "rst/middleware/ntp.hpp"
 #include "rst/sim/random.hpp"
+#include "rst/sim/stats.hpp"
 
 namespace rst {
 namespace {
@@ -136,6 +140,49 @@ TEST_P(LpvProperty, RandomPositionVectorsRoundTrip) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LpvProperty, ::testing::Range<std::uint64_t>(1, 6));
+
+// --------------------------------------------------------- stats merging
+
+// Guards the parallel trial aggregation: however a sample vector is split
+// into per-worker partitions, merging the partition accumulators must match
+// the single-pass serial accumulation.
+class StatsMergeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StatsMergeProperty, MergeOverRandomPartitionsMatchesSinglePass) {
+  sim::RandomStream r{GetParam(), "stats_merge"};
+  for (int round = 0; round < 20; ++round) {
+    const auto n = static_cast<std::size_t>(r.uniform_int(1, 400));
+    std::vector<double> samples;
+    samples.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Mix scales and signs so Welford cancellation errors would surface.
+      samples.push_back(r.normal(r.uniform(-50.0, 50.0), r.uniform(0.1, 30.0)));
+    }
+
+    sim::RunningStats serial;
+    for (double x : samples) serial.add(x);
+
+    // Split into a random number of contiguous partitions (some may stay
+    // empty — merging an empty accumulator must be a no-op).
+    const auto partitions = static_cast<std::size_t>(r.uniform_int(1, 12));
+    std::vector<sim::RunningStats> parts(partitions);
+    for (double x : samples) {
+      parts[static_cast<std::size_t>(r.uniform_int(0, static_cast<std::int64_t>(partitions) - 1))]
+          .add(x);
+    }
+    sim::RunningStats merged;
+    for (const auto& part : parts) merged.merge(part);
+
+    ASSERT_EQ(merged.count(), serial.count());
+    EXPECT_NEAR(merged.mean(), serial.mean(), 1e-9);
+    EXPECT_NEAR(merged.variance(), serial.variance(), 1e-9);
+    EXPECT_NEAR(merged.population_variance(), serial.population_variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(merged.min(), serial.min());
+    EXPECT_DOUBLE_EQ(merged.max(), serial.max());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsMergeProperty, ::testing::Range<std::uint64_t>(1, 9));
 
 }  // namespace
 }  // namespace rst

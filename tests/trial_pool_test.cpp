@@ -1,0 +1,136 @@
+// Unit and stress coverage for sim::TrialPool: task/worker ratios, empty
+// batches, exception capture + pool reuse, result ordering, and a
+// 1000-task churn run. These tests are the ones CI also runs under
+// ThreadSanitizer to keep the pool honest.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "rst/sim/trial_pool.hpp"
+
+namespace rst {
+namespace {
+
+TEST(TrialPool, ThreadCountDefaultsToAtLeastOne) {
+  sim::TrialPool auto_pool{0};
+  EXPECT_GE(auto_pool.thread_count(), 1u);
+  sim::TrialPool sized_pool{3};
+  EXPECT_EQ(sized_pool.thread_count(), 3u);
+}
+
+TEST(TrialPool, ZeroTasksReturnsImmediately) {
+  sim::TrialPool pool{4};
+  bool called = false;
+  pool.run_indexed(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+  const auto out = pool.map(0, [](std::size_t i) { return i; });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TrialPool, MoreTasksThanWorkersRunsEveryTaskExactlyOnce) {
+  sim::TrialPool pool{2};
+  constexpr std::size_t kTasks = 50;
+  std::atomic<int> executions{0};
+  const auto out = pool.map(kTasks, [&](std::size_t i) {
+    executions.fetch_add(1, std::memory_order_relaxed);
+    return i * i;
+  });
+  EXPECT_EQ(executions.load(), static_cast<int>(kTasks));
+  ASSERT_EQ(out.size(), kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(TrialPool, MoreWorkersThanTasks) {
+  sim::TrialPool pool{8};
+  const auto out = pool.map(3, [](std::size_t i) { return static_cast<int>(i) + 1; });
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TrialPool, SingleWorkerPreservesIndexOrder) {
+  sim::TrialPool pool{1};
+  std::vector<std::size_t> order;
+  pool.run_indexed(10, [&](std::size_t i) { order.push_back(i); });
+  std::vector<std::size_t> expected(10);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(TrialPool, TaskExceptionIsRethrownOnJoinAndPoolStaysUsable) {
+  sim::TrialPool pool{3};
+  std::atomic<int> executions{0};
+  const auto batch = [&](std::size_t i) {
+    executions.fetch_add(1, std::memory_order_relaxed);
+    if (i == 7) throw std::runtime_error{"trial 7 exploded"};
+  };
+  EXPECT_THROW(pool.run_indexed(16, batch), std::runtime_error);
+  // The failing batch still drains fully before rethrowing.
+  EXPECT_EQ(executions.load(), 16);
+
+  // The pool survives the error and runs further batches to completion.
+  executions = 0;
+  const auto out = pool.map(16, [&](std::size_t i) {
+    executions.fetch_add(1, std::memory_order_relaxed);
+    return i;
+  });
+  EXPECT_EQ(executions.load(), 16);
+  EXPECT_EQ(out.back(), 15u);
+}
+
+TEST(TrialPool, ExceptionMessageSurvivesTheWorkerBoundary) {
+  sim::TrialPool pool{2};
+  try {
+    pool.run_indexed(4, [](std::size_t i) {
+      if (i == 2) throw std::invalid_argument{"bad seed"};
+    });
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string{e.what()}, "bad seed");
+  }
+}
+
+TEST(TrialPool, EveryTaskThrowingStillDrainsAndRethrowsOne) {
+  sim::TrialPool pool{4};
+  std::atomic<int> executions{0};
+  EXPECT_THROW(pool.run_indexed(20,
+                                [&](std::size_t) {
+                                  executions.fetch_add(1, std::memory_order_relaxed);
+                                  throw std::runtime_error{"all fail"};
+                                }),
+               std::runtime_error);
+  EXPECT_EQ(executions.load(), 20);
+}
+
+TEST(TrialPool, ThousandTaskChurn) {
+  sim::TrialPool pool{4};
+  constexpr std::size_t kTasks = 1000;
+  std::vector<std::uint64_t> slots(kTasks, 0);
+  std::atomic<std::uint64_t> checksum{0};
+  pool.run_indexed(kTasks, [&](std::size_t i) {
+    // Distinct slots are written concurrently; the atomic cross-checks that
+    // every index is executed exactly once.
+    slots[i] = static_cast<std::uint64_t>(i) * 3 + 1;
+    checksum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(checksum.load(), kTasks * (kTasks - 1) / 2);
+  for (std::size_t i = 0; i < kTasks; ++i) EXPECT_EQ(slots[i], i * 3 + 1);
+}
+
+TEST(TrialPool, RepeatedBatchReuseIsStable) {
+  sim::TrialPool pool{4};
+  for (int round = 0; round < 100; ++round) {
+    const std::size_t n = static_cast<std::size_t>(round % 7) + 1;
+    const auto out = pool.map(n, [round](std::size_t i) {
+      return static_cast<int>(i) + round;
+    });
+    ASSERT_EQ(out.size(), n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out[i], static_cast<int>(i) + round);
+  }
+}
+
+}  // namespace
+}  // namespace rst
