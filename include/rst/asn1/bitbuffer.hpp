@@ -14,14 +14,29 @@ class DecodeError : public std::runtime_error {
 };
 
 /// MSB-first bit writer backing the UPER encoder.
+///
+/// `write_bits`/`write_bytes` operate whole bytes at a time (head / body /
+/// tail split around byte boundaries) instead of looping per bit, so an
+/// encoded CAM costs tens of byte stores rather than hundreds of calls
+/// through `write_bit`.
 class BitWriter {
  public:
+  BitWriter() = default;
+  /// Pre-reserves output capacity; encoders that know their rough message
+  /// size (CAM ~90 B, DENM ~120 B) avoid vector regrowth entirely.
+  explicit BitWriter(std::size_t capacity_bytes) { bytes_.reserve(capacity_bytes); }
+
+  void reserve_bytes(std::size_t capacity_bytes) { bytes_.reserve(capacity_bytes); }
+
   void write_bit(bool b);
   /// Writes the low `nbits` of `value`, MSB first. nbits in [0, 64].
   void write_bits(std::uint64_t value, unsigned nbits);
   void write_bytes(const std::uint8_t* data, std::size_t n);
   /// Pads the final partial byte with zero bits and returns the buffer.
-  [[nodiscard]] std::vector<std::uint8_t> finish() const;
+  [[nodiscard]] std::vector<std::uint8_t> finish() const& { return bytes_; }
+  /// Rvalue overload: moves the buffer out without copying. The writer is
+  /// left empty; reuse requires reassignment.
+  [[nodiscard]] std::vector<std::uint8_t> finish() && { return std::move(bytes_); }
 
   [[nodiscard]] std::size_t bit_count() const { return bit_count_; }
 
@@ -30,7 +45,8 @@ class BitWriter {
   std::size_t bit_count_{0};
 };
 
-/// MSB-first bit reader backing the UPER decoder.
+/// MSB-first bit reader backing the UPER decoder. Reads whole bytes at a
+/// time inside `read_bits`/`read_bytes` (mirroring BitWriter).
 class BitReader {
  public:
   BitReader(const std::uint8_t* data, std::size_t size_bytes)

@@ -17,6 +17,11 @@ namespace rst::asn1 {
 /// OCTET/IA5 strings and SEQUENCE OF with constrained counts.
 class PerEncoder {
  public:
+  PerEncoder() = default;
+  /// Pre-reserves output capacity (bytes) to avoid buffer regrowth when
+  /// the caller knows the approximate encoded size.
+  explicit PerEncoder(std::size_t capacity_hint_bytes) : w_{capacity_hint_bytes} {}
+
   void boolean(bool v) { w_.write_bit(v); }
 
   /// Constrained whole number in [lo, hi] (X.691 §10.5, unaligned).
@@ -44,19 +49,29 @@ class PerEncoder {
 
   void bits(std::uint64_t value, unsigned nbits) { w_.write_bits(value, nbits); }
 
-  [[nodiscard]] std::vector<std::uint8_t> finish() const { return w_.finish(); }
+  [[nodiscard]] std::vector<std::uint8_t> finish() const& { return w_.finish(); }
+  /// Rvalue overload: moves the encoded buffer out without copying.
+  [[nodiscard]] std::vector<std::uint8_t> finish() && { return std::move(w_).finish(); }
   [[nodiscard]] std::size_t bit_count() const { return w_.bit_count(); }
 
  private:
   BitWriter w_;
 };
 
-/// Unaligned-PER style decoder matching PerEncoder. Owns a copy of the
-/// input bytes, so it is safe to construct from a temporary buffer.
+/// Unaligned-PER style decoder matching PerEncoder.
+///
+/// Constructed from an rvalue vector it takes ownership (safe with
+/// temporaries). Constructed from an lvalue vector or a pointer it is a
+/// non-owning view — the caller's buffer must outlive the decoder. The
+/// view mode is what makes an N-receiver broadcast decode without copying
+/// the payload once per receiver.
 class PerDecoder {
  public:
-  explicit PerDecoder(std::vector<std::uint8_t> buf) : owned_{std::move(buf)}, r_{owned_} {}
-  PerDecoder(const std::uint8_t* data, std::size_t n) : owned_{data, data + n}, r_{owned_} {}
+  explicit PerDecoder(std::vector<std::uint8_t>&& buf) : owned_{std::move(buf)}, r_{owned_} {}
+  explicit PerDecoder(const std::vector<std::uint8_t>& buf) : r_{buf} {}
+  PerDecoder(const std::uint8_t* data, std::size_t n) : r_{data, n} {}
+  PerDecoder(const PerDecoder&) = delete;
+  PerDecoder& operator=(const PerDecoder&) = delete;
 
   [[nodiscard]] bool boolean() { return r_.read_bit(); }
   [[nodiscard]] std::int64_t constrained(std::int64_t lo, std::int64_t hi);

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <vector>
+
+namespace rst {
+
+/// Immutable, cheaply-shareable byte buffer.
+///
+/// Frame payloads travel through the whole stack (GeoNetworking encode ->
+/// DCC gate -> MAC queue -> medium -> N receivers -> decode); storing them
+/// behind a `shared_ptr<const vector>` means every hand-off and an
+/// N-receiver broadcast share one buffer instead of copying it. Mutation
+/// happens only by installing a new buffer (copy-on-write at the single
+/// construction/assignment point), so concurrent readers in parallel
+/// trials never race.
+///
+/// The type converts implicitly to `const std::vector<uint8_t>&` so codec
+/// and BTP entry points that take a vector keep working unchanged, and it
+/// counts buffer materializations (`buffer_count`) so tests can assert
+/// that a broadcast performs zero payload copies.
+class Bytes {
+ public:
+  Bytes() = default;
+  Bytes(std::vector<std::uint8_t> bytes)  // NOLINT(google-explicit-constructor)
+      : p_{bytes.empty() ? nullptr
+                         : std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes))} {
+    if (p_) buffers_created_.fetch_add(1, std::memory_order_relaxed);
+  }
+  Bytes(std::initializer_list<std::uint8_t> il) : Bytes{std::vector<std::uint8_t>{il}} {}
+
+  Bytes& operator=(std::vector<std::uint8_t> bytes) {
+    *this = Bytes{std::move(bytes)};
+    return *this;
+  }
+  Bytes& operator=(std::initializer_list<std::uint8_t> il) {
+    *this = Bytes{il};
+    return *this;
+  }
+
+  /// Zero-copy view of the underlying buffer.
+  [[nodiscard]] const std::vector<std::uint8_t>& vec() const { return p_ ? *p_ : empty_vec(); }
+  operator const std::vector<std::uint8_t>&() const { return vec(); }  // NOLINT
+
+  [[nodiscard]] const std::uint8_t* data() const { return vec().data(); }
+  [[nodiscard]] std::size_t size() const { return p_ ? p_->size() : 0; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] auto begin() const { return vec().begin(); }
+  [[nodiscard]] auto end() const { return vec().end(); }
+
+  /// Replaces the contents with `n` copies of `value` (fresh buffer).
+  void assign(std::size_t n, std::uint8_t value) {
+    *this = Bytes{std::vector<std::uint8_t>(n, value)};
+  }
+  void clear() { p_.reset(); }
+
+  /// Identity of the shared storage: equal ids mean physically shared
+  /// bytes (used by tests to prove copy-free broadcast).
+  [[nodiscard]] const void* storage_id() const { return p_.get(); }
+  [[nodiscard]] long use_count() const { return p_.use_count(); }
+
+  /// Process-wide count of buffer materializations. A broadcast to N
+  /// receivers must raise this by exactly 1 (the sender's encode).
+  [[nodiscard]] static std::uint64_t buffer_count() {
+    return buffers_created_.load(std::memory_order_relaxed);
+  }
+
+  friend bool operator==(const Bytes& a, const Bytes& b) {
+    return a.p_ == b.p_ || a.vec() == b.vec();
+  }
+  friend bool operator==(const Bytes& a, const std::vector<std::uint8_t>& b) {
+    return a.vec() == b;
+  }
+
+ private:
+  static const std::vector<std::uint8_t>& empty_vec() {
+    static const std::vector<std::uint8_t> kEmpty;
+    return kEmpty;
+  }
+
+  std::shared_ptr<const std::vector<std::uint8_t>> p_;
+  inline static std::atomic<std::uint64_t> buffers_created_{0};
+};
+
+}  // namespace rst

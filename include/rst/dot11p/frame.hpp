@@ -1,8 +1,8 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
+#include "rst/bytes.hpp"
 #include "rst/dot11p/phy_params.hpp"
 #include "rst/sim/time.hpp"
 
@@ -13,9 +13,11 @@ inline constexpr std::uint64_t kBroadcastMac = 0xffffffffffffULL;
 
 /// A MAC frame as seen by the link layer user (GeoNetworking). All ITS-G5
 /// CAM/DENM traffic is broadcast in OCB mode, so there is no dst/ACK.
+/// The payload is a shared immutable buffer: queueing, transmission and
+/// delivery to any number of receivers never copy the bytes.
 struct Frame {
   std::uint64_t src_mac{0};
-  std::vector<std::uint8_t> payload;  // LLC payload (GeoNetworking packet)
+  Bytes payload;  // LLC payload (GeoNetworking packet)
   AccessCategory ac{AccessCategory::Video};
 };
 

@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -61,11 +60,16 @@ class Medium {
  private:
   struct Transmission {
     Radio* tx;
-    Frame frame;
+    Frame frame;  // payload shared, not copied, across all receivers
     std::size_t psdu_bytes;
     sim::SimTime start;
     sim::SimTime end;
-    std::map<Radio*, double> rx_power_dbm;
+    /// Receiver snapshot taken at transmission start, parallel to
+    /// `rx_power_dbm` (flat arrays instead of a per-transmission map).
+    /// A detached radio's slot is nulled, never erased, so indices stay
+    /// stable for the interference lookup.
+    std::vector<Radio*> receivers;
+    std::vector<double> rx_power_dbm;
   };
 
   void finish_transmission(const std::shared_ptr<Transmission>& t);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "rst/asn1/per.hpp"
+#include "rst/bytes.hpp"
 #include "rst/dot11p/radio.hpp"
 #include "rst/geo/geo_area.hpp"
 #include "rst/geo/geodesy.hpp"
@@ -85,7 +86,8 @@ struct GnPacket {
   std::optional<WireGeoArea> destination_area{};  // GBC only
   /// GUC only: the destination router and its last known position.
   std::optional<LongPositionVector> destination{};
-  std::vector<std::uint8_t> payload;
+  /// BTP payload; shared so forwarding/delivery hand-offs don't copy it.
+  Bytes payload;
 
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
   static GnPacket decode(const std::vector<std::uint8_t>& buf);
@@ -143,8 +145,11 @@ struct GeoNetConfig {
 class GeoNetRouter {
  public:
   using EgoProvider = std::function<EgoState()>;
-  using DeliveryHandler = std::function<void(const std::vector<std::uint8_t>& btp_pdu,
-                                             const GnDeliveryMeta& meta)>;
+  /// The PDU argument is a shared buffer; handlers that need the bytes
+  /// beyond the call can retain a `Bytes` copy without a deep copy. It
+  /// also converts implicitly to `const std::vector<uint8_t>&`, so
+  /// vector-taking handlers keep working.
+  using DeliveryHandler = std::function<void(const Bytes& btp_pdu, const GnDeliveryMeta& meta)>;
 
   GeoNetRouter(sim::Scheduler& sched, dot11p::Radio& radio, const geo::LocalFrame& frame,
                GnAddress address, EgoProvider ego, GeoNetConfig config, sim::RandomStream rng);

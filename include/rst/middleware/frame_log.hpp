@@ -4,17 +4,19 @@
 #include <string>
 #include <vector>
 
+#include "rst/bytes.hpp"
 #include "rst/dot11p/radio.hpp"
 #include "rst/sim/scheduler.hpp"
 
 namespace rst::middleware {
 
-/// One captured frame.
+/// One captured frame. The payload is shared with the radio's frame, so
+/// tapping a busy channel does not copy every packet.
 struct LoggedFrame {
   sim::SimTime when{};
   std::uint64_t src_mac{0};
   double rssi_dbm{0};
-  std::vector<std::uint8_t> payload;  // GN packet bytes
+  Bytes payload;  // GN packet bytes
 
   friend bool operator==(const LoggedFrame&, const LoggedFrame&) = default;
 };

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rst::sim {
+
+/// Move-only `void()` callable with small-buffer optimization.
+///
+/// The discrete-event scheduler stores one callback per pending event; with
+/// `std::function` every capture larger than the library's tiny SBO (16
+/// bytes on libstdc++) costs a heap allocation per scheduled event. Almost
+/// all testbed callbacks capture a `this` pointer plus a few scalars, so a
+/// 48-byte inline buffer absorbs them without touching the heap. Larger
+/// captures (e.g. a forwarded GeoNetworking packet) transparently fall back
+/// to heap storage with identical semantics.
+class SmallFunction {
+  static constexpr std::size_t kInlineSize = 48;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  template <typename F>
+  static constexpr bool fits_inline =
+      sizeof(F) <= kInlineSize && alignof(F) <= kInlineAlign &&
+      std::is_nothrow_move_constructible_v<F>;
+
+ public:
+  SmallFunction() = default;
+  SmallFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, SmallFunction> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vtable_ = &inline_vtable<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      vtable_ = &heap_vtable<Fn>;
+    }
+  }
+
+  SmallFunction(SmallFunction&& o) noexcept { move_from(o); }
+  SmallFunction& operator=(SmallFunction&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+  ~SmallFunction() { reset(); }
+
+  void operator()() { vtable_->invoke(buf_); }
+
+  [[nodiscard]] explicit operator bool() const { return vtable_ != nullptr; }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    /// Move-constructs into `dst` (when non-null) and destroys `src`.
+    void (*relocate)(void* src, void* dst);
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static void invoke(void* p) { (*static_cast<Fn*>(p))(); }
+    static void relocate(void* src, void* dst) {
+      auto* f = static_cast<Fn*>(src);
+      if (dst) ::new (dst) Fn(std::move(*f));
+      f->~Fn();
+    }
+  };
+  template <typename Fn>
+  struct HeapOps {
+    static void invoke(void* p) { (**static_cast<Fn**>(p))(); }
+    static void relocate(void* src, void* dst) {
+      auto** pp = static_cast<Fn**>(src);
+      if (dst) {
+        ::new (dst) Fn*(*pp);
+      } else {
+        delete *pp;
+      }
+    }
+  };
+  template <typename Fn>
+  static constexpr VTable inline_vtable{&InlineOps<Fn>::invoke, &InlineOps<Fn>::relocate};
+  template <typename Fn>
+  static constexpr VTable heap_vtable{&HeapOps<Fn>::invoke, &HeapOps<Fn>::relocate};
+
+  void reset() {
+    if (vtable_) {
+      vtable_->relocate(buf_, nullptr);
+      vtable_ = nullptr;
+    }
+  }
+  void move_from(SmallFunction& o) noexcept {
+    if (o.vtable_) {
+      o.vtable_->relocate(o.buf_, buf_);
+      vtable_ = o.vtable_;
+      o.vtable_ = nullptr;
+    }
+  }
+
+  alignas(kInlineAlign) unsigned char buf_[kInlineSize];
+  const VTable* vtable_{nullptr};
+};
+
+}  // namespace rst::sim

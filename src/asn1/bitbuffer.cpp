@@ -1,5 +1,7 @@
 #include "rst/asn1/bitbuffer.hpp"
 
+#include <cstring>
+
 namespace rst::asn1 {
 
 void BitWriter::write_bit(bool b) {
@@ -11,14 +13,46 @@ void BitWriter::write_bit(bool b) {
 
 void BitWriter::write_bits(std::uint64_t value, unsigned nbits) {
   if (nbits > 64) throw std::invalid_argument{"BitWriter::write_bits: nbits > 64"};
-  for (unsigned i = nbits; i-- > 0;) write_bit((value >> i) & 1u);
+  if (nbits == 0) return;
+  if (nbits < 64) value &= (std::uint64_t{1} << nbits) - 1;
+
+  bytes_.resize((bit_count_ + nbits + 7) / 8, 0);
+  std::size_t byte_index = bit_count_ / 8;
+  const unsigned used = static_cast<unsigned>(bit_count_ % 8);
+  bit_count_ += nbits;
+  unsigned remaining = nbits;
+
+  // Head: fill the current partial byte.
+  if (used != 0) {
+    const unsigned room = 8 - used;
+    const unsigned take = remaining < room ? remaining : room;
+    const auto chunk =
+        static_cast<std::uint8_t>((value >> (remaining - take)) & ((1u << take) - 1u));
+    bytes_[byte_index] |= static_cast<std::uint8_t>(chunk << (room - take));
+    remaining -= take;
+    ++byte_index;
+  }
+  // Body: whole output bytes.
+  while (remaining >= 8) {
+    remaining -= 8;
+    bytes_[byte_index++] = static_cast<std::uint8_t>(value >> remaining);
+  }
+  // Tail: leading bits of a fresh byte (already zeroed by resize).
+  if (remaining > 0) {
+    bytes_[byte_index] |=
+        static_cast<std::uint8_t>((value & ((1u << remaining) - 1u)) << (8 - remaining));
+  }
 }
 
 void BitWriter::write_bytes(const std::uint8_t* data, std::size_t n) {
+  if (n == 0) return;
+  if (bit_count_ % 8 == 0) {  // aligned: bulk append
+    bytes_.insert(bytes_.end(), data, data + n);
+    bit_count_ += n * 8;
+    return;
+  }
   for (std::size_t i = 0; i < n; ++i) write_bits(data[i], 8);
 }
-
-std::vector<std::uint8_t> BitWriter::finish() const { return bytes_; }
 
 bool BitReader::read_bit() {
   if (pos_ >= size_bits_) throw DecodeError{"BitReader: read past end"};
@@ -29,12 +63,41 @@ bool BitReader::read_bit() {
 
 std::uint64_t BitReader::read_bits(unsigned nbits) {
   if (nbits > 64) throw DecodeError{"BitReader: nbits > 64"};
+  if (nbits > size_bits_ - pos_) throw DecodeError{"BitReader: read past end"};
   std::uint64_t v = 0;
-  for (unsigned i = 0; i < nbits; ++i) v = (v << 1) | (read_bit() ? 1u : 0u);
+  unsigned remaining = nbits;
+
+  // Head: drain the current partial byte.
+  const unsigned used = static_cast<unsigned>(pos_ % 8);
+  if (used != 0 && remaining > 0) {
+    const unsigned avail = 8 - used;
+    const unsigned take = remaining < avail ? remaining : avail;
+    v = (data_[pos_ / 8] >> (avail - take)) & ((1u << take) - 1u);
+    pos_ += take;
+    remaining -= take;
+  }
+  // Body: whole input bytes.
+  while (remaining >= 8) {
+    v = (v << 8) | data_[pos_ / 8];
+    pos_ += 8;
+    remaining -= 8;
+  }
+  // Tail: leading bits of the next byte.
+  if (remaining > 0) {
+    v = (v << remaining) | (data_[pos_ / 8] >> (8 - remaining));
+    pos_ += remaining;
+  }
   return v;
 }
 
 void BitReader::read_bytes(std::uint8_t* out, std::size_t n) {
+  if (n == 0) return;
+  if (pos_ % 8 == 0) {  // aligned: bulk copy
+    if (n * 8 > size_bits_ - pos_) throw DecodeError{"BitReader: read past end"};
+    std::memcpy(out, data_ + pos_ / 8, n);
+    pos_ += n * 8;
+    return;
+  }
   for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<std::uint8_t>(read_bits(8));
 }
 

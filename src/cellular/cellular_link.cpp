@@ -45,7 +45,7 @@ void CellularNetwork::send(const std::string& from, const std::string& to,
                        component(config_.core_mean, config_.core_sigma) +
                        component(config_.downlink_mean, config_.downlink_sigma);
   stats_.latency_ms.add(latency.to_milliseconds());
-  sched_.schedule_in(latency, [this, from, to, payload = std::move(payload)] {
+  sched_.post_in(latency, [this, from, to, payload = std::move(payload)] {
     const auto it = endpoints_.find(to);
     if (it == endpoints_.end() || !it->second->receive_) return;
     ++stats_.delivered;

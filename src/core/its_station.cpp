@@ -56,10 +56,11 @@ ItsStation::ItsStation(sim::Scheduler& sched, dot11p::Medium& medium, middleware
   // OpenC2X-equivalent stack processing between radio delivery and the
   // facilities (decode + dispatch + queueing), then the BTP demux.
   router_->set_delivery_handler(
-      [this](const std::vector<std::uint8_t>& pdu, const its::GnDeliveryMeta& meta) {
+      [this](const Bytes& pdu, const its::GnDeliveryMeta& meta) {
         const auto latency =
             rng_.normal_time(config_.stack_rx_mean, config_.stack_rx_sigma, config_.stack_rx_min);
-        sched_.schedule_in(latency, [this, pdu, meta] {
+        // Capturing `pdu` shares the payload buffer; no copy per delivery.
+        sched_.post_in(latency, [this, pdu, meta] {
           its::GnDeliveryMeta handoff_meta = meta;
           handoff_meta.delivered_at = sched_.now();
           mux_.on_gn_payload(pdu, handoff_meta);

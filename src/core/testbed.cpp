@@ -155,7 +155,7 @@ TestbedScenario::TestbedScenario(TestbedConfig config)
           if (!vehicle::MessageHandler::is_emergency(denm)) return;
           const auto cause = denm.situation->event_type.cause_code;
           // Modem-to-application handling, then straight to the planner.
-          sched_.schedule_in(sim::SimTime::microseconds(600), [this, cause] {
+          sched_.post_in(sim::SimTime::microseconds(600), [this, cause] {
             vehicle_bus_->publish("v2x_emergency",
                                   std::string{"DENM cause "} + std::to_string(cause) +
                                       " via cellular");
@@ -190,7 +190,7 @@ void TestbedScenario::add_static_obstacle(geo::Vec2 position, roadside::Presenta
 }
 
 void TestbedScenario::schedule_separation_probe() {
-  sched_.schedule_in(sim::SimTime::milliseconds(10), [this] {
+  sched_.post_in(sim::SimTime::milliseconds(10), [this] {
     for (const auto& u : road_users_) {
       const geo::Vec2 up = u.start + u.velocity * (sched_.now() - u.t0).to_seconds();
       min_separation_ = std::min(min_separation_, geo::distance(dynamics_->position(), up));

@@ -16,7 +16,11 @@ void Medium::attach(Radio* radio) { radios_.push_back(radio); }
 
 void Medium::detach(Radio* radio) {
   std::erase(radios_, radio);
-  for (auto& t : transmissions_) t->rx_power_dbm.erase(radio);
+  for (auto& t : transmissions_) {
+    for (auto& rx : t->receivers) {
+      if (rx == radio) rx = nullptr;  // keep indices stable for in-flight lookups
+    }
+  }
 }
 
 double Medium::mean_rx_power_dbm(const Radio& tx, const Radio& rx) const {
@@ -34,6 +38,8 @@ void Medium::begin_transmission(Radio* tx, Frame frame, std::size_t psdu_bytes) 
   t->psdu_bytes = psdu_bytes;
   t->start = sched_.now();
   t->end = sched_.now() + frame_airtime(psdu_bytes, tx->config().mcs);
+  t->receivers.reserve(radios_.size() > 0 ? radios_.size() - 1 : 0);
+  t->rx_power_dbm.reserve(t->receivers.capacity());
 
   for (Radio* rx : radios_) {
     if (rx == tx) continue;
@@ -46,13 +52,14 @@ void Medium::begin_transmission(Radio* tx, Frame frame, std::size_t psdu_bytes) 
       const double gain = shadow_rng_.gamma(channel_.nakagami_m, 1.0 / channel_.nakagami_m);
       p += mw_to_dbm(std::max(gain, 1e-9));
     }
-    t->rx_power_dbm.emplace(rx, p);
+    t->receivers.push_back(rx);
+    t->rx_power_dbm.push_back(p);
     if (p >= rx->config().cs_threshold_dbm) rx->on_cs_busy_delta(+1);
   }
 
   transmissions_.push_back(t);
   ++stats_.frames_transmitted;
-  sched_.schedule_at(t->end, [this, t] { finish_transmission(t); });
+  sched_.post_at(t->end, [this, t] { finish_transmission(t); });
 }
 
 double Medium::interference_mw(const Transmission& t, Radio* rx) const {
@@ -60,8 +67,12 @@ double Medium::interference_mw(const Transmission& t, Radio* rx) const {
   for (const auto& other : transmissions_) {
     if (other.get() == &t) continue;
     if (other->start >= t.end || other->end <= t.start) continue;  // no overlap
-    const auto it = other->rx_power_dbm.find(rx);
-    if (it != other->rx_power_dbm.end()) sum += dbm_to_mw(it->second);
+    for (std::size_t i = 0; i < other->receivers.size(); ++i) {
+      if (other->receivers[i] == rx) {
+        sum += dbm_to_mw(other->rx_power_dbm[i]);
+        break;
+      }
+    }
   }
   return sum;
 }
@@ -70,7 +81,10 @@ void Medium::finish_transmission(const std::shared_ptr<Transmission>& t) {
   t->tx->on_tx_complete();
 
   const double noise_mw = dbm_to_mw(noise_floor_dbm(0.0));
-  for (auto& [rx, power_dbm] : t->rx_power_dbm) {
+  for (std::size_t i = 0; i < t->receivers.size(); ++i) {
+    Radio* rx = t->receivers[i];
+    if (rx == nullptr) continue;  // detached mid-flight
+    const double power_dbm = t->rx_power_dbm[i];
     if (power_dbm >= rx->config().cs_threshold_dbm) rx->on_cs_busy_delta(-1);
 
     if (power_dbm < rx->config().rx_sensitivity_dbm) {

@@ -65,7 +65,7 @@ LowFrequencyContainer LowFrequencyContainer::decode(asn1::PerDecoder& d) {
 }
 
 std::vector<std::uint8_t> Cam::encode() const {
-  asn1::PerEncoder e;
+  asn1::PerEncoder e{128};  // a CAM with path history encodes to ~60-90 B
   header.encode(e);
   e.constrained(generation_delta_time, 0, 65535);
   // CamParameters: presence bitmap for the optional LowFrequencyContainer
@@ -74,7 +74,7 @@ std::vector<std::uint8_t> Cam::encode() const {
   basic.encode(e);
   high_frequency.encode(e);
   if (low_frequency) low_frequency->encode(e);
-  return e.finish();
+  return std::move(e).finish();
 }
 
 Cam Cam::decode(const std::vector<std::uint8_t>& buf) {

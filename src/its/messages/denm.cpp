@@ -122,7 +122,7 @@ AlacarteContainer AlacarteContainer::decode(asn1::PerDecoder& d) {
 }
 
 std::vector<std::uint8_t> Denm::encode() const {
-  asn1::PerEncoder e;
+  asn1::PerEncoder e{160};  // a DENM with traces encodes to ~80-130 B
   header.encode(e);
   e.boolean(situation.has_value());
   e.boolean(location.has_value());
@@ -131,7 +131,7 @@ std::vector<std::uint8_t> Denm::encode() const {
   if (situation) situation->encode(e);
   if (location) location->encode(e);
   if (alacarte) alacarte->encode(e);
-  return e.finish();
+  return std::move(e).finish();
 }
 
 Denm Denm::decode(const std::vector<std::uint8_t>& buf) {

@@ -50,7 +50,8 @@ WireGeoArea WireGeoArea::decode(asn1::PerDecoder& d) {
 }
 
 std::vector<std::uint8_t> GnPacket::encode() const {
-  asn1::PerEncoder e;
+  // ~56 bytes of GN headers ahead of the BTP payload.
+  asn1::PerEncoder e{64 + payload.size()};
   e.constrained(version, 0, 15);
   e.enumerated(static_cast<std::uint32_t>(type), kGnPacketTypeCount);
   e.constrained(traffic_class, 0, 63);
@@ -64,7 +65,7 @@ std::vector<std::uint8_t> GnPacket::encode() const {
   e.boolean(destination.has_value());
   if (destination) destination->encode(e);
   e.octet_string(payload);
-  return e.finish();
+  return std::move(e).finish();
 }
 
 GnPacket GnPacket::decode(const std::vector<std::uint8_t>& buf) {

@@ -51,7 +51,7 @@ std::vector<std::uint8_t> FrameLog::serialize() const {
     e.constrained(std::clamp<std::int64_t>(rssi_q, 0, 4000), 0, 4000);
     e.octet_string(frame.payload);
   }
-  return e.finish();
+  return std::move(e).finish();
 }
 
 std::vector<LoggedFrame> FrameLog::parse(const std::vector<std::uint8_t>& data) {

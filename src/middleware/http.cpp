@@ -12,7 +12,7 @@ void HttpLan::detach(const std::string& hostname) { hosts_.erase(hostname); }
 void HttpLan::request(const std::string& hostname, HttpRequest req, ResponseCallback cb) {
   ++requests_;
   if (config_.loss_probability > 0 && rng_.bernoulli(config_.loss_probability)) {
-    sched_.schedule_in(config_.loss_timeout, [cb] { cb(HttpResponse{0, {}}); });
+    sched_.post_in(config_.loss_timeout, [cb] { cb(HttpResponse{0, {}}); });
     return;
   }
   const auto leg = [this] {
@@ -23,11 +23,11 @@ void HttpLan::request(const std::string& hostname, HttpRequest req, ResponseCall
   const auto uplink = leg();
   const auto downlink = leg();
 
-  sched_.schedule_in(uplink + processing, [this, hostname, req = std::move(req), cb, downlink] {
+  sched_.post_in(uplink + processing, [this, hostname, req = std::move(req), cb, downlink] {
     const auto it = hosts_.find(hostname);
     HttpResponse resp = it == hosts_.end() ? HttpResponse{404, "no such host"}
                                            : it->second->dispatch(req);
-    sched_.schedule_in(downlink, [cb, resp = std::move(resp)] { cb(resp); });
+    sched_.post_in(downlink, [cb, resp = std::move(resp)] { cb(resp); });
   });
 }
 

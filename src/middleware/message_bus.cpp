@@ -27,7 +27,7 @@ void MessageBus::publish(const std::string& topic, std::any message) {
   for (const auto& sub : it->second) {
     const auto latency =
         config_.base_latency + rng_.uniform_time(sim::SimTime::zero(), config_.jitter);
-    sched_.schedule_in(latency, [handler = sub.handler, shared] { handler(*shared); });
+    sched_.post_in(latency, [handler = sub.handler, shared] { handler(*shared); });
   }
 }
 

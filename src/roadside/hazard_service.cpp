@@ -207,7 +207,7 @@ void HazardAdvertisementService::trigger_denm_at(geo::Vec2 event_position, its::
 
   const auto processing =
       rng_.normal_time(config_.processing_mean, config_.processing_sigma, config_.processing_min);
-  sched_.schedule_in(processing, [this, serialized = body.serialize()] {
+  sched_.post_in(processing, [this, serialized = body.serialize()] {
     host_.post(config_.rsu_hostname, "/trigger_denm", serialized,
                [this](const middleware::HttpResponse& resp) {
                  if (resp.status == 200) {

@@ -47,7 +47,7 @@ void ObjectDetectionService::process_frame() {
 
   const auto inference =
       rng_.normal_time(config_.inference_mean, config_.inference_sigma, config_.inference_min);
-  sched_.schedule_in(inference, [this, frame, detections = std::move(detections)]() mutable {
+  sched_.post_in(inference, [this, frame, detections = std::move(detections)]() mutable {
     if (config_.anonymize_detections) {
       // Strip the simulator identities and re-derive track ids the way a
       // real pipeline must: geometrically, frame to frame.

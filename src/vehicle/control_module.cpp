@@ -42,7 +42,7 @@ void ControlModule::on_command(const DriveCommand& cmd) {
   if (!running_) return;
   const auto usart = config_.usart_latency +
                      rng_.uniform_time(sim::SimTime::zero(), config_.usart_jitter);
-  sched_.schedule_in(usart, [this, cmd] {
+  sched_.post_in(usart, [this, cmd] {
     // USART write instant: the ECU's "command sent to actuators" timestamp
     // (paper step 5).
     if (cmd.power_cut && trace_) {
@@ -51,7 +51,7 @@ void ControlModule::on_command(const DriveCommand& cmd) {
     }
     // The ESC/servo apply the new duty cycle at the next PWM edge.
     const auto edge = next_pwm_edge(sched_.now());
-    sched_.schedule_at(edge, [this, cmd] {
+    sched_.post_at(edge, [this, cmd] {
       ++applied_;
       if (cmd.power_cut) {
         dynamics_.cut_power();

@@ -61,8 +61,8 @@ void ScanningLidar::tick() {
   if (!running_) return;
   const LidarScan result = scan();
   ++scans_;
-  sched_.schedule_in(config_.processing_latency,
-                     [this, result] { bus_.publish("lidar_scan", result); });
+  sched_.post_in(config_.processing_latency,
+                 [this, result] { bus_.publish("lidar_scan", result); });
   timer_ = sched_.schedule_in(config_.scan_period, [this] { tick(); });
 }
 

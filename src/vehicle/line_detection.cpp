@@ -47,7 +47,7 @@ void LineCameraSensor::capture() {
 
   const auto latency = rng_.normal_time(config_.processing_mean, config_.processing_sigma,
                                         config_.processing_min);
-  sched_.schedule_in(latency, [this, det] { bus_.publish("line_detection", det); });
+  sched_.post_in(latency, [this, det] { bus_.publish("line_detection", det); });
 
   frame_timer_ = sched_.schedule_in(config_.frame_period, [this] { capture(); });
 }

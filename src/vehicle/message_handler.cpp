@@ -78,7 +78,7 @@ void MessageHandler::on_response(const middleware::HttpResponse& resp) {
   const auto handling = config_.handling_latency +
                         rng_.uniform_time(sim::SimTime::zero(), config_.handling_jitter);
   const auto cause = denm.situation->event_type.cause_code;
-  sched_.schedule_in(handling, [this, cause] {
+  sched_.post_in(handling, [this, cause] {
     bus_.publish("v2x_emergency",
                  std::string{"DENM cause "} + std::to_string(cause) + " (" +
                      std::string{its::describe_cause(cause)} + ")");

@@ -1,0 +1,232 @@
+// Property test: the word-at-a-time BitWriter/BitReader against a
+// bit-by-bit reference implementation (the codec as originally written,
+// kept here as the oracle). Any divergence in the produced byte stream or
+// in the decoded values is a bug in the optimized fast paths.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "rst/asn1/bitbuffer.hpp"
+
+namespace {
+
+using rst::asn1::BitReader;
+using rst::asn1::BitWriter;
+using rst::asn1::DecodeError;
+
+/// The original bit-at-a-time writer, verbatim semantics: MSB-first,
+/// one bit appended per call.
+class ReferenceWriter {
+ public:
+  void write_bit(bool bit) {
+    const std::size_t byte = bit_count_ / 8;
+    if (byte >= bytes_.size()) bytes_.push_back(0);
+    if (bit) bytes_[byte] |= static_cast<std::uint8_t>(0x80u >> (bit_count_ % 8));
+    ++bit_count_;
+  }
+  void write_bits(std::uint64_t value, std::size_t nbits) {
+    for (std::size_t i = 0; i < nbits; ++i) {
+      write_bit(((value >> (nbits - 1 - i)) & 1u) != 0);
+    }
+  }
+  void write_bytes(const std::vector<std::uint8_t>& data) {
+    for (const auto b : data) write_bits(b, 8);
+  }
+  [[nodiscard]] std::vector<std::uint8_t> finish() const { return bytes_; }
+  [[nodiscard]] std::size_t bit_count() const { return bit_count_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t bit_count_{0};
+};
+
+/// The original bit-at-a-time reader.
+class ReferenceReader {
+ public:
+  explicit ReferenceReader(const std::vector<std::uint8_t>& bytes)
+      : bytes_{bytes}, size_bits_{bytes.size() * 8} {}
+  bool read_bit() {
+    if (pos_ >= size_bits_) throw DecodeError{"reference: out of data"};
+    const bool bit = (bytes_[pos_ / 8] >> (7 - pos_ % 8)) & 1u;
+    ++pos_;
+    return bit;
+  }
+  std::uint64_t read_bits(std::size_t nbits) {
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < nbits; ++i) v = (v << 1) | (read_bit() ? 1u : 0u);
+    return v;
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t size_bits_;
+  std::size_t pos_{0};
+};
+
+/// One randomized operation of a write script.
+struct Op {
+  enum class Kind { Bit, Bits, Bytes } kind;
+  std::uint64_t value{};
+  std::size_t nbits{};
+  std::vector<std::uint8_t> bytes;
+};
+
+std::vector<Op> random_script(std::mt19937_64& rng, std::size_t n_ops) {
+  std::uniform_int_distribution<int> kind_dist{0, 2};
+  std::uniform_int_distribution<std::size_t> nbits_dist{1, 64};
+  std::uniform_int_distribution<std::size_t> len_dist{0, 40};
+  std::vector<Op> script;
+  script.reserve(n_ops);
+  for (std::size_t i = 0; i < n_ops; ++i) {
+    Op op;
+    switch (kind_dist(rng)) {
+      case 0:
+        op.kind = Op::Kind::Bit;
+        op.value = rng() & 1u;
+        break;
+      case 1:
+        op.kind = Op::Kind::Bits;
+        op.nbits = nbits_dist(rng);
+        op.value = rng();
+        break;
+      default: {
+        op.kind = Op::Kind::Bytes;
+        const auto len = len_dist(rng);
+        op.bytes.resize(len);
+        for (auto& b : op.bytes) b = static_cast<std::uint8_t>(rng());
+        break;
+      }
+    }
+    script.push_back(std::move(op));
+  }
+  return script;
+}
+
+std::uint64_t masked(std::uint64_t value, std::size_t nbits) {
+  return nbits >= 64 ? value : value & ((std::uint64_t{1} << nbits) - 1);
+}
+
+TEST(CodecReference, RandomScriptsProduceIdenticalBytes) {
+  std::mt19937_64 rng{0xC0DEC5EEDULL};
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto script = random_script(rng, 1 + trial % 50);
+
+    BitWriter fast;
+    ReferenceWriter ref;
+    for (const auto& op : script) {
+      switch (op.kind) {
+        case Op::Kind::Bit:
+          fast.write_bit(op.value != 0);
+          ref.write_bit(op.value != 0);
+          break;
+        case Op::Kind::Bits:
+          fast.write_bits(op.value, op.nbits);
+          ref.write_bits(op.value, op.nbits);
+          break;
+        case Op::Kind::Bytes:
+          fast.write_bytes(op.bytes.data(), op.bytes.size());
+          ref.write_bytes(op.bytes);
+          break;
+      }
+    }
+    ASSERT_EQ(fast.bit_count(), ref.bit_count()) << "trial " << trial;
+    ASSERT_EQ(fast.finish(), ref.finish()) << "trial " << trial;
+  }
+}
+
+TEST(CodecReference, RandomScriptsDecodeIdentically) {
+  std::mt19937_64 rng{0xDEC0DE5EEDULL};
+  for (int trial = 0; trial < 200; ++trial) {
+    // Write with the fast writer, then read the field sequence back with
+    // both readers and compare every decoded value.
+    const auto script = random_script(rng, 1 + trial % 50);
+    BitWriter w;
+    for (const auto& op : script) {
+      switch (op.kind) {
+        case Op::Kind::Bit:
+          w.write_bit(op.value != 0);
+          break;
+        case Op::Kind::Bits:
+          w.write_bits(op.value, op.nbits);
+          break;
+        case Op::Kind::Bytes:
+          w.write_bytes(op.bytes.data(), op.bytes.size());
+          break;
+      }
+    }
+    const auto buf = std::move(w).finish();
+
+    BitReader fast{buf.data(), buf.size()};
+    ReferenceReader ref{buf};
+    for (const auto& op : script) {
+      switch (op.kind) {
+        case Op::Kind::Bit:
+          ASSERT_EQ(fast.read_bit(), ref.read_bit() != 0) << "trial " << trial;
+          break;
+        case Op::Kind::Bits: {
+          const auto got = fast.read_bits(op.nbits);
+          ASSERT_EQ(got, ref.read_bits(op.nbits)) << "trial " << trial;
+          ASSERT_EQ(got, masked(op.value, op.nbits)) << "trial " << trial;
+          break;
+        }
+        case Op::Kind::Bytes: {
+          std::vector<std::uint8_t> got(op.bytes.size());
+          fast.read_bytes(got.data(), got.size());
+          std::vector<std::uint8_t> want(op.bytes.size());
+          for (auto& b : want) b = static_cast<std::uint8_t>(ref.read_bits(8));
+          ASSERT_EQ(got, want) << "trial " << trial;
+          ASSERT_EQ(got, op.bytes) << "trial " << trial;
+          break;
+        }
+      }
+    }
+  }
+}
+
+TEST(CodecReference, ValuesRoundTripThroughFastPaths) {
+  // Every (value, nbits) written comes back masked to nbits.
+  std::mt19937_64 rng{0xFEEDULL};
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::pair<std::uint64_t, std::size_t>> fields;
+    BitWriter w;
+    // Deliberately misalign the stream so head/body/tail splits all occur.
+    std::uniform_int_distribution<std::size_t> lead{0, 15};
+    const auto lead_bits = lead(rng);
+    w.write_bits(0x5555, lead_bits);
+    for (int i = 0; i < 64; ++i) {
+      const std::size_t nbits = 1 + rng() % 64;
+      const std::uint64_t value = rng();
+      fields.emplace_back(value, nbits);
+      w.write_bits(value, nbits);
+    }
+    const auto buf = std::move(w).finish();
+    BitReader r{buf.data(), buf.size()};
+    (void)r.read_bits(lead_bits);
+    for (const auto& [value, nbits] : fields) {
+      ASSERT_EQ(r.read_bits(nbits), masked(value, nbits));
+    }
+  }
+}
+
+TEST(CodecReference, ReaderThrowsPastEnd) {
+  BitWriter w;
+  w.write_bits(0xAB, 8);
+  const auto buf = std::move(w).finish();
+  BitReader r{buf.data(), buf.size()};
+  EXPECT_EQ(r.read_bits(8), 0xABu);
+  EXPECT_THROW((void)r.read_bits(1), DecodeError);
+}
+
+TEST(CodecReference, MoveOutFinishMatchesCopyingFinish) {
+  const std::vector<std::uint8_t> data(64, 0xCD);
+  BitWriter w{64};
+  w.write_bytes(data.data(), data.size());
+  const auto copy = w.finish();               // const& overload
+  const auto moved = std::move(w).finish();   // && overload, steals the buffer
+  EXPECT_EQ(copy, moved);
+  EXPECT_EQ(copy, data);
+}
+
+}  // namespace
