@@ -204,7 +204,7 @@ void BM_MediumBroadcast(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n_receivers);
 }
-BENCHMARK(BM_MediumBroadcast)->Arg(2)->Arg(16)->Arg(64);
+BENCHMARK(BM_MediumBroadcast)->Arg(2)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 
 void BM_FullTrialEndToEnd(benchmark::State& state) {
   // Wall-clock cost of simulating one complete emergency-braking trial

@@ -14,6 +14,16 @@ class PathLossModel {
   virtual ~PathLossModel() = default;
   /// Path loss in dB between transmitter and receiver positions.
   [[nodiscard]] virtual double loss_db(geo::Vec2 tx, geo::Vec2 rx) const = 0;
+
+  /// Lower bound on the loss between any two positions `distance_m` apart.
+  /// The spatial index inverts this to derive a conservative culling radius:
+  /// over-estimating loss here would cull radios that can still hear, so
+  /// models whose loss is not a pure function of distance must override it
+  /// with a true lower bound. The default evaluates the model along an
+  /// arbitrary axis, which is exact for the distance-radial models above.
+  [[nodiscard]] virtual double min_loss_db(double distance_m) const {
+    return loss_db({0.0, 0.0}, {distance_m, 0.0});
+  }
 };
 
 /// Friis free-space loss at 5.9 GHz (ITS-G5 band).
@@ -78,6 +88,8 @@ class ObstacleShadowingModel final : public PathLossModel {
  public:
   ObstacleShadowingModel(std::unique_ptr<PathLossModel> base, std::vector<Wall> walls);
   [[nodiscard]] double loss_db(geo::Vec2 tx, geo::Vec2 rx) const override;
+  /// Walls only ever add loss, so the base model's bound stays valid.
+  [[nodiscard]] double min_loss_db(double distance_m) const override;
 
   /// True when the segment tx-rx crosses at least one wall.
   [[nodiscard]] bool is_nlos(geo::Vec2 tx, geo::Vec2 rx) const;
@@ -107,6 +119,41 @@ struct ChannelModel {
   FadingModel fading{FadingModel::None};
   /// Nakagami shape parameter (ignored unless fading == Nakagami).
   double nakagami_m{3.0};
+
+  // --- Dense-fleet scaling knobs (README "Scaling the medium") ---
+  //
+  // Both knobs are opt-in; with both off the Medium behaves bit-identically
+  // to the original full-fan-out implementation.
+
+  /// Draw shadowing/fading/PER from counter-based streams keyed on
+  /// (tx MAC, rx MAC, tx sequence) instead of the shared medium-order
+  /// streams, and treat links whose deterministic link budget is below
+  /// `power_floor_dbm` as out of range (no draw, no interference, counted
+  /// as dropped_below_sensitivity). Delivery outcomes become independent of
+  /// receiver iteration order — the precondition for spatial culling.
+  /// Implied by spatial_index.
+  bool per_link_streams{false};
+  /// Cull receivers through a uniform spatial hash grid instead of the full
+  /// radio fan-out. Requires per_link_streams semantics (auto-enabled) and
+  /// must not change any delivery outcome relative to per_link_streams
+  /// alone: the grid radius is derived by inverting
+  /// PathLossModel::min_loss_db at power_floor_dbm.
+  bool spatial_index{false};
+  /// Links below this deterministic receive power (dBm, path loss and
+  /// antenna gains only) are never considered. Keep a healthy margin below
+  /// rx_sensitivity_dbm so post-shadowing/fading upside cannot matter:
+  /// default is 15 dB under the default -95 dBm sensitivity (> 5 sigma of
+  /// typical shadowing).
+  double power_floor_dbm{-110.0};
+  /// Grid cell edge; 0 derives it from the inverted power floor range.
+  double cell_size_m{0.0};
+  /// How often the grid re-reads every radio's position (amortised into
+  /// begin_transmission, no standing event). Zero means the 100 ms default.
+  sim::SimTime reindex_period{};
+  /// Upper bound on station speed, used to pad the query radius against
+  /// positions that are up to one reindex period stale. Stations moving
+  /// faster than this can be culled while audible.
+  double max_station_speed_mps{50.0};
 };
 
 }  // namespace rst::dot11p

@@ -84,4 +84,10 @@ struct RadioConfig {
 [[nodiscard]] double dbm_to_mw(double dbm);
 [[nodiscard]] double mw_to_dbm(double mw);
 
+/// Dimensionless dB gain/loss to a linear power ratio. Numerically the same
+/// map as dbm_to_mw, but for quantities (noise figures, coding gains, SINR)
+/// that are ratios, not absolute powers referenced to 1 mW — use this at
+/// dB-ratio call sites so the units stay honest.
+[[nodiscard]] double db_to_ratio(double db);
+
 }  // namespace rst::dot11p

@@ -66,6 +66,14 @@ class Radio {
   void deliver(const Frame& frame, const RxInfo& info);
   /// True if this radio transmitted during any part of [start, end].
   [[nodiscard]] bool was_transmitting_during(sim::SimTime start, sim::SimTime end) const;
+  /// Settles carrier-sense state when the medium detaches this radio while
+  /// `cs_busy_decrements` in-flight frames still hold it busy. Adjusts the
+  /// busy bookkeeping only — no countdown resumption, no new events — so it
+  /// is safe to call from the destructor's detach.
+  void settle_detach(int cs_busy_decrements);
+  /// Slot index assigned by the medium at attach (stable until detach).
+  void set_medium_slot(std::uint32_t slot) { medium_slot_ = slot; }
+  [[nodiscard]] std::uint32_t medium_slot() const { return medium_slot_; }
 
  private:
   struct AcState {
@@ -98,8 +106,12 @@ class Radio {
   sim::SimTime busy_accumulated_{};
   sim::SimTime busy_since_{};
   bool was_busy_{false};
-  std::deque<std::pair<sim::SimTime, sim::SimTime>> tx_history_;  // recent tx intervals
+  /// Recent tx intervals, fixed ring so the hot path never touches the heap.
+  std::array<std::pair<sim::SimTime, sim::SimTime>, 16> tx_history_{};
+  std::size_t tx_history_size_{0};
+  std::size_t tx_history_next_{0};
   sim::SimTime current_tx_start_{};
+  std::uint32_t medium_slot_{0};
 
   ReceiveCallback receive_cb_;
   ReceiveCallback tap_;

@@ -9,6 +9,33 @@
 
 namespace rst::sim {
 
+/// Cheap counter-based generator for per-link draws on hot paths.
+///
+/// Unlike RandomStream (whose mt19937_64 costs ~2.5 kB of state and a long
+/// seeding pass per construction), a CounterStream is two 64-bit words: a
+/// key-derived base and a draw counter pushed through a splitmix64
+/// finalizer. Constructing one per (tx, rx, sequence) link and throwing it
+/// away after a couple of draws is what makes per-link randomness viable in
+/// the medium's transmit path — draws depend only on the key, never on the
+/// order links are visited in, so receiver culling cannot perturb them.
+class CounterStream {
+ public:
+  /// Uniform in [0, 1).
+  [[nodiscard]] double uniform01();
+  [[nodiscard]] double normal(double mean, double stddev);
+  /// Gamma with shape k and scale theta (mean = k*theta).
+  [[nodiscard]] double gamma(double shape, double scale);
+  [[nodiscard]] bool bernoulli(double p);
+
+ private:
+  friend class RandomStream;
+  explicit CounterStream(std::uint64_t base) : base_{base} {}
+  [[nodiscard]] std::uint64_t next_u64();
+
+  std::uint64_t base_;
+  std::uint64_t counter_{0};
+};
+
 /// Deterministic random stream derived from a (root seed, name) pair.
 ///
 /// Every stochastic component in the testbed owns a named child stream, so
@@ -39,6 +66,12 @@ class RandomStream {
 
   /// Derives a child stream; children of distinct names are independent.
   [[nodiscard]] RandomStream child(std::string_view name) const;
+
+  /// Derives a lightweight counter-based child keyed by an integer (e.g. a
+  /// hash of (tx MAC, rx MAC, frame sequence)). Distinct keys yield
+  /// independent streams; the same key always yields the same draws,
+  /// regardless of how many other children were derived in between.
+  [[nodiscard]] CounterStream counter_child(std::uint64_t key) const;
 
   [[nodiscard]] std::uint64_t root_seed() const { return root_seed_; }
 

@@ -79,6 +79,21 @@ const std::map<std::string, Entry>& registry() {
           c.shadowing_sigma_db = parse_double(v, "shadowing_sigma_db");
         },
         "log-normal shadowing sigma"}},
+      {"medium_per_link_streams",
+       {[](TestbedConfig& c, const std::string& v) {
+          c.medium_per_link_streams = parse_bool(v, "medium_per_link_streams");
+        },
+        "counter-based per-link medium streams"}},
+      {"medium_spatial_index",
+       {[](TestbedConfig& c, const std::string& v) {
+          c.medium_spatial_index = parse_bool(v, "medium_spatial_index");
+        },
+        "spatial-grid receiver culling (implies per-link streams)"}},
+      {"medium_power_floor_dbm",
+       {[](TestbedConfig& c, const std::string& v) {
+          c.medium_power_floor_dbm = parse_double(v, "medium_power_floor_dbm");
+        },
+        "per-link out-of-range link-budget floor"}},
       {"warning_bearer",
        {[](TestbedConfig& c, const std::string& v) {
           if (v == "its-g5") c.warning_path = WarningPath::ItsG5;

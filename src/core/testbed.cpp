@@ -37,6 +37,10 @@ void TestbedConfig::validate() const {
   if (path_loss_exponent < 1.0) {
     throw std::invalid_argument{"TestbedConfig: path_loss_exponent below free-space is unphysical"};
   }
+  if (!std::isfinite(medium_power_floor_dbm) || medium_power_floor_dbm > 0.0) {
+    throw std::invalid_argument{
+        "TestbedConfig: medium_power_floor_dbm must be a finite negative level"};
+  }
   if (geo::distance(track_start, track_end) < 1e-6) {
     throw std::invalid_argument{"TestbedConfig: track_start and track_end coincide"};
   }
@@ -54,6 +58,9 @@ TestbedScenario::TestbedScenario(TestbedConfig config)
   dot11p::ChannelModel channel;
   channel.path_loss = std::shared_ptr<const dot11p::PathLossModel>{make_path_loss(config_)};
   channel.shadowing_sigma_db = config_.shadowing_sigma_db;
+  channel.per_link_streams = config_.medium_per_link_streams;
+  channel.spatial_index = config_.medium_spatial_index;
+  channel.power_floor_dbm = config_.medium_power_floor_dbm;
   medium_ = std::make_unique<dot11p::Medium>(sched_, rng_.child("medium"), std::move(channel));
   lan_ = std::make_unique<middleware::HttpLan>(sched_, rng_.child("lan"), config_.lan);
   vehicle_bus_ = std::make_unique<middleware::MessageBus>(sched_, rng_.child("vbus"), config_.bus);

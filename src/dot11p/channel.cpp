@@ -86,6 +86,10 @@ bool ObstacleShadowingModel::is_nlos(geo::Vec2 tx, geo::Vec2 rx) const {
                      [&](const Wall& w) { return segments_intersect(tx, rx, w.a, w.b); });
 }
 
+double ObstacleShadowingModel::min_loss_db(double distance_m) const {
+  return base_->min_loss_db(distance_m);
+}
+
 double ObstacleShadowingModel::loss_db(geo::Vec2 tx, geo::Vec2 rx) const {
   double loss = base_->loss_db(tx, rx);
   for (const auto& w : walls_) {

@@ -47,6 +47,7 @@ sim::SimTime aifs(AccessCategory ac) {
 
 double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
 double mw_to_dbm(double mw) { return 10.0 * std::log10(mw); }
+double db_to_ratio(double db) { return std::pow(10.0, db / 10.0); }
 
 double noise_floor_dbm(double noise_figure_db) {
   // -174 dBm/Hz thermal + 10*log10(10 MHz) = -104 dBm, plus the NF.
@@ -95,7 +96,7 @@ double coding_gain_db(Mcs mcs) {
 }  // namespace
 
 double packet_error_rate(double sinr_db, std::size_t psdu_bytes, Mcs mcs) {
-  const double effective_snr = dbm_to_mw(sinr_db + coding_gain_db(mcs)) ;
+  const double effective_snr = db_to_ratio(sinr_db + coding_gain_db(mcs));
   const double ber = modulation_ber(effective_snr, mcs);
   if (ber <= 0) return 0.0;
   const double bits = static_cast<double>(8 * psdu_bytes + kServiceBits + kTailBits);

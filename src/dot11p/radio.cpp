@@ -92,8 +92,9 @@ void Radio::on_tx_complete() {
   transmitting_ = false;
   update_busy_accounting(channel_busy());
   const sim::SimTime now = medium_.scheduler().now();
-  tx_history_.emplace_back(current_tx_start_, now);
-  while (tx_history_.size() > 16) tx_history_.pop_front();
+  tx_history_[tx_history_next_] = {current_tx_start_, now};
+  tx_history_next_ = (tx_history_next_ + 1) % tx_history_.size();
+  tx_history_size_ = std::min(tx_history_size_ + 1, tx_history_.size());
 
   if (busy_count_ == 0) idle_since_ = now;
   // Post-transmission backoff for every AC that still has traffic.
@@ -121,9 +122,13 @@ void Radio::on_cs_busy_delta(int delta) {
 
 bool Radio::was_transmitting_during(sim::SimTime start, sim::SimTime end) const {
   if (transmitting_ && current_tx_start_ < end) return true;
-  return std::any_of(tx_history_.begin(), tx_history_.end(), [&](const auto& iv) {
-    return iv.first < end && iv.second > start;
-  });
+  return std::any_of(tx_history_.begin(), tx_history_.begin() + tx_history_size_,
+                     [&](const auto& iv) { return iv.first < end && iv.second > start; });
+}
+
+void Radio::settle_detach(int cs_busy_decrements) {
+  busy_count_ -= cs_busy_decrements;
+  update_busy_accounting(channel_busy());
 }
 
 void Radio::deliver(const Frame& frame, const RxInfo& info) {

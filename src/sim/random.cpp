@@ -34,6 +34,53 @@ RandomStream RandomStream::child(std::string_view name) const {
   return RandomStream{root_seed_, mix(derived_seed_ ^ stable_hash(name))};
 }
 
+CounterStream RandomStream::counter_child(std::uint64_t key) const {
+  return CounterStream{mix(derived_seed_ ^ mix(key))};
+}
+
+std::uint64_t CounterStream::next_u64() { return mix(base_ + ++counter_ * 0x9e3779b97f4a7c15ULL); }
+
+double CounterStream::uniform01() {
+  // 53 high bits -> double in [0, 1), the standard bit-twiddle.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double CounterStream::normal(double mean, double stddev) {
+  // Box-Muller; one value per call keeps the draw count deterministic.
+  double u1 = uniform01();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform01();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * M_PI * u2);
+}
+
+double CounterStream::gamma(double shape, double scale) {
+  // Marsaglia-Tsang squeeze; the shape < 1 boost uses the alpha+1 trick.
+  if (shape < 1.0) {
+    const double u = uniform01();
+    return gamma(shape + 1.0, scale) * std::pow(u > 0 ? u : 0x1.0p-53, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    const double x = normal(0.0, 1.0);
+    const double v_cbrt = 1.0 + c * x;
+    if (v_cbrt <= 0.0) continue;
+    const double v = v_cbrt * v_cbrt * v_cbrt;
+    const double u = uniform01();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (std::log(u > 0 ? u : 0x1.0p-53) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v * scale;
+    }
+  }
+}
+
+bool CounterStream::bernoulli(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return uniform01() < p;
+}
+
 double RandomStream::uniform01() {
   return std::uniform_real_distribution<double>{0.0, 1.0}(engine_);
 }
