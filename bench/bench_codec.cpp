@@ -206,6 +206,26 @@ void BM_MediumBroadcast(benchmark::State& state) {
 }
 BENCHMARK(BM_MediumBroadcast)->Arg(2)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 
+void BM_TraceRecordTyped(benchmark::State& state) {
+  // Steady-state cost of one typed trace event (the instrumentation tax on
+  // every pipeline stage): a POD write into the pre-sized ring, no strings.
+  rst::sim::Trace trace;
+  trace.set_event_capacity(1 << 20);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    trace.record_event(rst::sim::SimTime::nanoseconds(static_cast<std::int64_t>(i)),
+                       rst::sim::Stage::DenmTx, 900, rst::sim::pack_action(900, 1));
+    if (++i == (1 << 20)) {
+      state.PauseTiming();
+      trace.clear();
+      i = 0;
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceRecordTyped);
+
 void BM_FullTrialEndToEnd(benchmark::State& state) {
   // Wall-clock cost of simulating one complete emergency-braking trial
   // (~6 s of simulated time across the whole stack).

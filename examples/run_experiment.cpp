@@ -5,13 +5,15 @@
 // Usage:
 //   run_experiment [--trials N] [--seed S] [--threads T] [--poll-ms P]
 //                  [--fps F] [--speed V] [--action-point D]
-//                  [--bearer its-g5|embb|urllc] [--csv]
+//                  [--bearer its-g5|embb|urllc] [--csv] [--trace-out FILE]
 //
 // Prints the Table II/III style summary; --csv additionally dumps one line
 // per trial for external analysis. --threads fans the trials out over a
 // worker pool (0 = hardware concurrency, 1 = serial; the default is the
 // RST_THREADS environment variable, else auto) — results are identical at
-// any thread count.
+// any thread count. --trace-out runs one extra trial at the base seed and
+// writes its full stage timeline as Chrome trace-event JSON (open in
+// Perfetto / chrome://tracing).
 
 #include <cstdio>
 #include <cstdlib>
@@ -29,7 +31,7 @@ void usage(const char* argv0) {
   std::printf(
       "usage: %s [--trials N] [--seed S] [--threads T] [--poll-ms P] [--fps F]\n"
       "          [--speed V] [--action-point D] [--bearer its-g5|embb|urllc] [--csv]\n"
-      "          [--config FILE] [--list-config-keys]\n",
+      "          [--config FILE] [--list-config-keys] [--trace-out FILE]\n",
       argv0);
 }
 
@@ -41,6 +43,7 @@ int main(int argc, char** argv) {
   rst::core::TestbedConfig config;
   config.seed = 1;
   bool csv = false;
+  std::string trace_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -80,6 +83,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--csv") {
       csv = true;
+    } else if (arg == "--trace-out") {
+      trace_out = next();
     } else if (arg == "--config") {
       std::ifstream file{next()};
       if (!file) {
@@ -123,6 +128,22 @@ int main(int argc, char** argv) {
     const auto ci = rst::sim::bootstrap_mean_ci(summary.total_samples_ms());
     std::printf("total delay mean %.1f ms, 95%% bootstrap CI [%.1f, %.1f]\n", ci.point, ci.lower,
                 ci.upper);
+  }
+  std::printf("\n%s", summary.metrics.format().c_str());
+
+  if (!trace_out.empty()) {
+    // One dedicated trial at the base seed: its typed stage timeline is the
+    // Fig. 4 pipeline rendered as a Chrome/Perfetto trace.
+    rst::core::TestbedScenario scenario{config};
+    (void)scenario.run_emergency_brake_trial();
+    std::ofstream out{trace_out};
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", trace_out.c_str());
+      return 2;
+    }
+    out << scenario.trace().to_chrome_trace_json();
+    std::printf("wrote %zu stage event(s) to %s\n", scenario.trace().events().size(),
+                trace_out.c_str());
   }
 
   if (csv) {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "rst/core/testbed.hpp"
+#include "rst/sim/metrics.hpp"
 #include "rst/sim/stats.hpp"
 
 namespace rst::core {
@@ -17,6 +18,10 @@ struct ExperimentSummary {
   sim::RunningStats total_ms{};
   sim::RunningStats braking_distance_m{};
   std::size_t failures{0};
+  /// Cross-trial observability: per-stage latency histograms (p50/p95/p99)
+  /// and trial counters, fed from the same seed-ordered pass as the
+  /// RunningStats so the registry is thread-count independent.
+  sim::MetricsRegistry metrics{};
 
   [[nodiscard]] std::vector<double> total_samples_ms() const;
   [[nodiscard]] std::vector<double> braking_samples_m() const;

@@ -97,6 +97,7 @@ class DenBasicService {
   using TransmitHook = std::function<void(const Denm&)>;
   void set_transmit_hook(TransmitHook hook) { transmit_hook_ = std::move(hook); }
 
+  [[nodiscard]] StationId station_id() const { return station_id_; }
   [[nodiscard]] bool owns(ActionId id) const { return originated_.contains(key(id)); }
   [[nodiscard]] std::optional<ReceivedDenmState> received_state(ActionId id) const;
 
@@ -128,6 +129,8 @@ class DenBasicService {
   void transmit(const Denm& denm, const geo::GeoArea& area);
   void schedule_repetition(ActionId id);
   void schedule_kaf(ActionId id);
+  /// Drops originated events whose validity elapsed (cancels repetition).
+  void expire_originated();
 
   sim::Scheduler& sched_;
   GeoNetRouter& router_;

@@ -15,6 +15,7 @@
 #include "rst/sim/random.hpp"
 #include "rst/sim/scheduler.hpp"
 #include "rst/sim/time.hpp"
+#include "rst/sim/trace.hpp"
 
 namespace rst::its {
 
@@ -152,7 +153,8 @@ class GeoNetRouter {
   using DeliveryHandler = std::function<void(const Bytes& btp_pdu, const GnDeliveryMeta& meta)>;
 
   GeoNetRouter(sim::Scheduler& sched, dot11p::Radio& radio, const geo::LocalFrame& frame,
-               GnAddress address, EgoProvider ego, GeoNetConfig config, sim::RandomStream rng);
+               GnAddress address, EgoProvider ego, GeoNetConfig config, sim::RandomStream rng,
+               sim::Trace* trace = nullptr);
   ~GeoNetRouter();
   GeoNetRouter(const GeoNetRouter&) = delete;
   GeoNetRouter& operator=(const GeoNetRouter&) = delete;
@@ -226,6 +228,7 @@ class GeoNetRouter {
   EgoProvider ego_;
   GeoNetConfig config_;
   sim::RandomStream rng_;
+  sim::Trace* trace_;
 
   std::uint16_t next_sequence_{0};
   std::map<std::uint64_t, LocationTableEntry> location_table_;

@@ -27,10 +27,17 @@ class OpenC2xApi {
  public:
   OpenC2xApi(HttpHost& host, const geo::LocalFrame& frame, its::DenBasicService& den,
              its::Ldm* ldm = nullptr, sim::Trace* trace = nullptr, std::string trace_name = {},
-             its::CaBasicService* ca = nullptr);
+             its::CaBasicService* ca = nullptr, std::size_t max_inbox = 16);
 
   /// Number of received DENMs not yet fetched via /request_denm.
   [[nodiscard]] std::size_t pending_denms() const { return inbox_.size(); }
+
+  struct Stats {
+    /// DENMs evicted (oldest first) because the inbox was full when a new
+    /// one arrived between polls.
+    std::uint64_t denms_dropped{0};
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
 
   /// Parses a /trigger_denm body into a DenmRequest (exposed for tests).
   [[nodiscard]] its::DenmRequest parse_trigger_body(const std::string& body) const;
@@ -50,6 +57,8 @@ class OpenC2xApi {
     sim::SimTime received;
   };
   std::deque<InboxEntry> inbox_;
+  std::size_t max_inbox_;
+  Stats stats_;
 };
 
 }  // namespace rst::middleware

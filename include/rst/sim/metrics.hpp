@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rst::sim {
+
+/// Monotonic named counter. Incrementing is a single add — no allocation,
+/// no locking (the registry is per-scenario, like the Scheduler).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_{0};
+};
+
+/// Fixed-bucket latency histogram: log-spaced bucket edges are computed
+/// once at registration, `observe` is a bucket walk + increment (no
+/// allocation), and percentiles interpolate linearly inside the covering
+/// bucket. Good enough for p50/p95/p99 reporting at a fraction of the cost
+/// of keeping every sample.
+class LatencyHistogram {
+ public:
+  struct Options {
+    double min{0.01};       ///< lower edge of the first finite bucket
+    double max{10'000.0};   ///< upper edge of the last finite bucket
+    std::size_t buckets{64};
+  };
+
+  LatencyHistogram() : LatencyHistogram(Options{}) {}
+  explicit LatencyHistogram(Options options);
+
+  void observe(double value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  [[nodiscard]] double min_seen() const { return count_ == 0 ? 0.0 : min_seen_; }
+  [[nodiscard]] double max_seen() const { return count_ == 0 ? 0.0 : max_seen_; }
+
+  /// Quantile estimate, q in [0, 1]. Returns 0 when empty.
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] double p50() const { return percentile(0.50); }
+  [[nodiscard]] double p95() const { return percentile(0.95); }
+  [[nodiscard]] double p99() const { return percentile(0.99); }
+
+ private:
+  std::vector<double> edges_;           ///< ascending upper edges of the finite buckets
+  std::vector<std::uint64_t> counts_;   ///< edges_.size() + 1 (overflow bucket)
+  std::uint64_t count_{0};
+  double sum_{0.0};
+  double min_seen_{0.0};
+  double max_seen_{0.0};
+};
+
+/// Named counters and histograms for a scenario or an experiment run.
+/// Registration (the map insert) allocates; every subsequent lookup of the
+/// returned reference and every increment/observe is allocation-free, so
+/// components grab their instruments once at wiring time.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  LatencyHistogram& histogram(const std::string& name, LatencyHistogram::Options options = {});
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const { return counters_; }
+  [[nodiscard]] const std::map<std::string, LatencyHistogram>& histograms() const { return histograms_; }
+
+  /// Human-readable block: one line per counter, one per histogram with
+  /// count/mean/p50/p95/p99.
+  [[nodiscard]] std::string format() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, LatencyHistogram> histograms_;
+};
+
+}  // namespace rst::sim

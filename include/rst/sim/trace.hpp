@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "rst/sim/time.hpp"
+#include "rst/sim/trace_event.hpp"
 
 namespace rst::sim {
 
@@ -21,12 +22,73 @@ struct TraceRecord {
 /// The paper instruments the physical testbed with NTP-synchronised
 /// timestamps at each stage (Fig. 4 steps); the Trace plays the same role
 /// here and is what the experiment harness mines for interval measurements.
+///
+/// Two recording paths exist:
+///  * `record_event` / `span_begin` / `span_end` — typed POD events into a
+///    pre-sized ring buffer. One allocation the first time an event is
+///    recorded (the buffer), zero thereafter; when the buffer is full new
+///    events are counted in `events_dropped()` and discarded, so the
+///    earliest (pipeline-critical) stages are always retained.
+///  * `record` — the legacy string path, kept as a compatibility layer.
+///
+/// String queries (`find`/`find_all`/`records`/`to_csv`) see BOTH paths:
+/// typed events are rendered into their legacy component/message form
+/// lazily, on query only, so the hot recording path never touches strings.
 class Trace {
  public:
+  // --- Typed zero-allocation path ---
+
+  /// Records a typed instant event. Allocation-free at steady state.
+  void record_event(SimTime when, Stage stage, std::uint32_t station = 0, std::uint64_t a = 0,
+                    double value = 0.0, std::uint16_t detail = 0) {
+    push_event(when, stage, Phase::Instant, station, a, value, detail);
+  }
+  /// Span-style stage markers: begin/end pairs matched by (stage, a); the
+  /// Chrome exporter renders them as async duration events.
+  void span_begin(SimTime when, Stage stage, std::uint32_t station = 0, std::uint64_t a = 0,
+                  double value = 0.0, std::uint16_t detail = 0) {
+    push_event(when, stage, Phase::Begin, station, a, value, detail);
+  }
+  void span_end(SimTime when, Stage stage, std::uint32_t station = 0, std::uint64_t a = 0,
+                double value = 0.0, std::uint16_t detail = 0) {
+    push_event(when, stage, Phase::End, station, a, value, detail);
+  }
+
+  /// Typed events in recording order (the mining surface for the
+  /// experiment harness — no strings, no substring matching).
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// First event of `stage` at or after `from`; nullptr if none.
+  [[nodiscard]] const TraceEvent* find_event(Stage stage, SimTime from = SimTime::zero()) const;
+  /// As above, additionally filtered on the emitting station.
+  [[nodiscard]] const TraceEvent* find_event(Stage stage, SimTime from,
+                                             std::uint32_t station) const;
+  /// All events of `stage`, in recording order.
+  [[nodiscard]] std::vector<const TraceEvent*> find_all_events(Stage stage) const;
+
+  /// Events discarded because the ring buffer was full.
+  [[nodiscard]] std::uint64_t events_dropped() const { return events_dropped_; }
+  /// Resizes the typed buffer capacity. Only effective before the first
+  /// recorded event (the buffer is allocated once, on first use).
+  void set_event_capacity(std::size_t capacity) { event_capacity_ = capacity; }
+  [[nodiscard]] std::size_t event_capacity() const { return event_capacity_; }
+
+  /// Chrome trace_event-format JSON (the "JSON Object Format" with a
+  /// traceEvents array): open in Perfetto or chrome://tracing. Typed
+  /// instants become "i" events, span begin/end pairs become async
+  /// "b"/"e" events matched by id, legacy string records become instants
+  /// carrying the message in args. Timestamps are microseconds.
+  [[nodiscard]] std::string to_chrome_trace_json() const;
+
+  // --- Legacy string path (compatibility layer) ---
+
   void record(SimTime when, std::string_view component, std::string_view message);
 
-  [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
-  void clear() { records_.clear(); }
+  /// All records — legacy strings plus typed events rendered to their
+  /// legacy component/message form — in recording order. Materialised
+  /// lazily; the reference is invalidated by the next recording.
+  [[nodiscard]] const std::vector<TraceRecord>& records() const;
+  void clear();
 
   /// Echo records to stderr as they arrive (useful in examples).
   void set_echo(bool on) { echo_ = on; }
@@ -46,7 +108,22 @@ class Trace {
   [[nodiscard]] std::string to_csv() const;
 
  private:
+  void push_event(SimTime when, Stage stage, Phase phase, std::uint32_t station, std::uint64_t a,
+                  double value, std::uint16_t detail);
+  /// Rebuilds the merged legacy view (strings + rendered typed events,
+  /// ordered by global recording sequence) if stale.
+  const std::vector<TraceRecord>& merged() const;
+
+  std::vector<TraceEvent> events_;
+  std::size_t event_capacity_{16384};
+  std::uint64_t events_dropped_{0};
+  std::uint32_t next_seq_{0};
+
   std::vector<TraceRecord> records_;
+  std::vector<std::uint32_t> record_seqs_;  // recording seq of each string record
+
+  mutable std::vector<TraceRecord> merged_;
+  mutable bool merged_dirty_{false};
   bool echo_{false};
 };
 

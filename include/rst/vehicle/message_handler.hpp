@@ -54,6 +54,7 @@ class MessageHandler {
  private:
   void poll();
   void on_response(const middleware::HttpResponse& resp);
+  void handle_denm_hex(const std::string& hex);
 
   sim::Scheduler& sched_;
   middleware::MessageBus& bus_;

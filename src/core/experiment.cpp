@@ -63,15 +63,27 @@ ExperimentSummary run_emergency_brake_experiment(const TestbedConfig& base_confi
   }
   // Stats accumulate from the seed-ordered vector, never in completion
   // order, so the aggregate is bit-identical at any thread count.
+  auto& trials_done = summary.metrics.counter("trials");
+  auto& trials_failed = summary.metrics.counter("trials_failed");
+  auto& h_det_rsu = summary.metrics.histogram("stage.detection_to_rsu_ms");
+  auto& h_rsu_obu = summary.metrics.histogram("stage.rsu_to_obu_ms");
+  auto& h_obu_act = summary.metrics.histogram("stage.obu_to_actuator_ms");
+  auto& h_total = summary.metrics.histogram("stage.total_ms");
   for (const auto& r : summary.trials) {
+    trials_done.add();
     if (r.stopped_by_denm) {
       summary.detection_to_rsu_ms.add(r.meas_detection_to_rsu_ms);
       summary.rsu_to_obu_ms.add(r.meas_rsu_to_obu_ms);
       summary.obu_to_actuator_ms.add(r.meas_obu_to_actuator_ms);
       summary.total_ms.add(r.meas_total_ms);
       summary.braking_distance_m.add(r.braking_distance_m);
+      h_det_rsu.observe(r.meas_detection_to_rsu_ms);
+      h_rsu_obu.observe(r.meas_rsu_to_obu_ms);
+      h_obu_act.observe(r.meas_obu_to_actuator_ms);
+      h_total.observe(r.meas_total_ms);
     } else {
       ++summary.failures;
+      trials_failed.add();
     }
   }
   return summary;

@@ -13,7 +13,7 @@ ItsStation::ItsStation(sim::Scheduler& sched, dot11p::Medium& medium, middleware
       medium, config_.radio, [ego] { return ego().position; }, rng_.child("radio"), config_.name);
   router_ = std::make_unique<its::GeoNetRouter>(
       sched_, *radio_, frame, its::GnAddress::from_station(config_.station_id), ego,
-      config_.geonet, rng_.child("gn"));
+      config_.geonet, rng_.child("gn"), trace_);
   ldm_ = std::make_unique<its::Ldm>(sched_, frame);
   // The CA service's provider is installed lazily via start_cam(); until
   // then a zeroed snapshot is produced (the service is not started).

@@ -155,10 +155,9 @@ TestbedScenario::TestbedScenario(TestbedConfig config)
           } catch (const asn1::DecodeError&) {
             return;
           }
-          trace_.record(sched_.now(), "modem",
-                        "DENM received action=" +
-                            std::to_string(denm.management.action_id.originating_station) + "/" +
-                            std::to_string(denm.management.action_id.sequence_number));
+          trace_.record_event(sched_.now(), sim::Stage::ModemDenmRx, config_.obu.station_id,
+                              sim::pack_action(denm.management.action_id.originating_station,
+                                               denm.management.action_id.sequence_number));
           if (!vehicle::MessageHandler::is_emergency(denm)) return;
           const auto cause = denm.situation->event_type.cause_code;
           // Modem-to-application handling, then straight to the planner.
@@ -262,7 +261,7 @@ TrialResult TestbedScenario::run_emergency_brake_trial(sim::SimTime timeout) {
       }
     }
     if (!detection_seen) {
-      if (const auto* d = trace_.find("hazard_service", "action point crossed", t_start)) {
+      if (const auto* d = trace_.find_event(sim::Stage::HazardDecision, t_start)) {
         detection_seen = true;
         speed_at_detection = dynamics_->speed_mps();
         // Back out the small travel since the detection instant.
@@ -279,17 +278,16 @@ TrialResult TestbedScenario::run_emergency_brake_trial(sim::SimTime timeout) {
   }
   result.timed_out = !halted;
 
-  // Mine the trace for the instrumented steps (the trace is what the
-  // paper's NTP-stamped logs are).
+  // Mine the typed stage events for the instrumented steps (the trace is
+  // what the paper's NTP-stamped logs are).
   const bool cellular = config_.warning_path != WarningPath::ItsG5;
-  const auto* det = trace_.find("hazard_service", "action point crossed", t_start);
+  const auto* det = trace_.find_event(sim::Stage::HazardDecision, t_start);
   const auto* rsu_send =
-      trace_.find("den." + std::to_string(config_.rsu.station_id), "DENM sent", t_start);
+      trace_.find_event(sim::Stage::DenmTx, t_start, config_.rsu.station_id);
   const auto* obu_recv =
-      cellular ? trace_.find("modem", "DENM received", t_start)
-               : trace_.find("den." + std::to_string(config_.obu.station_id), "DENM received",
-                             t_start);
-  const auto* power_cut = trace_.find("control", "power cut commanded", t_start);
+      cellular ? trace_.find_event(sim::Stage::ModemDenmRx, t_start)
+               : trace_.find_event(sim::Stage::DenmRx, t_start, config_.obu.station_id);
+  const auto* power_cut = trace_.find_event(sim::Stage::PowerCutCommand, t_start);
 
   if (det && rsu_send && obu_recv && power_cut && halted) {
     result.stopped_by_denm = true;
@@ -320,10 +318,10 @@ TrialResult TestbedScenario::run_emergency_brake_trial(sim::SimTime timeout) {
     result.braking_distance_m = odometer_at_halt - odometer_at_detection;
     result.stop_distance_to_camera_m =
         geo::distance(dynamics_->position(), config_.camera_position);
-    // Parse the estimated detection distance out of the trace message.
-    const auto pos = det->message.find(" at ");
-    if (pos != std::string::npos) {
-      result.detection_distance_m = std::atof(det->message.c_str() + pos + 4);
+    // The estimated detection distance rides in the decision event payload
+    // (action-point mode; CPA events carry the time-to-CPA instead).
+    if (det->detail == sim::kHazardActionPoint) {
+      result.detection_distance_m = det->value;
     }
   }
   return result;

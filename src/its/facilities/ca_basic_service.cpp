@@ -139,8 +139,7 @@ void CaBasicService::send_cam(const CaVehicleData& data) {
   last_sent_time_ = sched_.now();
   ++stats_.cams_sent;
   if (trace_) {
-    trace_->record(sched_.now(), "ca." + std::to_string(station_id_),
-                   "CAM sent gdt=" + std::to_string(cam.generation_delta_time));
+    trace_->record_event(sched_.now(), sim::Stage::CamTx, station_id_, cam.generation_delta_time);
   }
 }
 
@@ -156,8 +155,7 @@ void CaBasicService::on_btp_payload(const std::vector<std::uint8_t>& cam_bytes,
   ++stats_.cams_received;
   if (ldm_) ldm_->update_from_cam(cam);
   if (trace_) {
-    trace_->record(sched_.now(), "ca." + std::to_string(station_id_),
-                   "CAM received from " + std::to_string(cam.header.station_id));
+    trace_->record_event(sched_.now(), sim::Stage::CamRx, station_id_, cam.header.station_id);
   }
   if (cam_cb_) cam_cb_(cam, meta);
 }

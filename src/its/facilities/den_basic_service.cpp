@@ -32,8 +32,10 @@ Denm DenBasicService::build_denm(ActionId id, const DenmRequest& request,
   denm.management.event_position.longitude = geo::to_its_tenth_microdegree(gp.longitude_deg);
   denm.management.relevance_distance = request.relevance_distance;
   denm.management.relevance_traffic_direction = request.relevance_traffic_direction;
-  denm.management.validity_duration_s =
-      static_cast<std::uint32_t>(std::max<std::int64_t>(1, request.validity.count_ns() / 1'000'000'000));
+  // EN 302 637-3: validityDuration is 0..86400 s; clamp rather than letting
+  // oversized application requests wrap through the PER encoding.
+  denm.management.validity_duration_s = static_cast<std::uint32_t>(
+      std::clamp<std::int64_t>(request.validity.count_ns() / 1'000'000'000, 1, 86400));
   if (request.repetition_interval) {
     denm.management.transmission_interval_ms = static_cast<std::uint16_t>(
         std::clamp<std::int64_t>(request.repetition_interval->count_ns() / 1'000'000, 1, 10000));
@@ -51,7 +53,10 @@ Denm DenBasicService::build_denm(ActionId id, const DenmRequest& request,
     if (request.event_heading_rad) {
       double deg = std::fmod(*request.event_heading_rad * 180.0 / M_PI, 360.0);
       if (deg < 0) deg += 360.0;
-      location.event_position_heading = Heading{static_cast<std::uint16_t>(deg * 10.0), 10};
+      // Round to the nearest deci-degree (truncation biased every heading
+      // down by up to 0.1°); 360.0° rounds up to 3600, which wraps to 0.
+      location.event_position_heading =
+          Heading{static_cast<std::uint16_t>(std::lround(deg * 10.0) % 3600), 10};
     }
     location.traces.push_back(PathHistory{});  // mandatory traces field
     denm.location = location;
@@ -66,14 +71,31 @@ void DenBasicService::transmit(const Denm& denm, const geo::GeoArea& area) {
   if (transmit_hook_) transmit_hook_(denm);
   ++stats_.denms_sent;
   if (trace_) {
-    trace_->record(sched_.now(), "den." + std::to_string(station_id_),
-                   "DENM sent action=" + std::to_string(denm.management.action_id.originating_station) +
-                       "/" + std::to_string(denm.management.action_id.sequence_number) +
-                       (denm.is_termination() ? " termination" : ""));
+    trace_->record_event(sched_.now(), sim::Stage::DenmTx, station_id_,
+                         sim::pack_action(denm.management.action_id.originating_station,
+                                          denm.management.action_id.sequence_number),
+                         0.0, denm.is_termination() ? sim::kDenmTermination : 0);
+  }
+}
+
+void DenBasicService::expire_originated() {
+  // Mirror of the received-state sweep: originated events past their
+  // validity stop existing — cancel any still-pending repetition (the
+  // repetition window may outlive the validity) and drop the entry so the
+  // map cannot grow without bound on a long-running RSU.
+  const sim::SimTime now = sched_.now();
+  for (auto it = originated_.begin(); it != originated_.end();) {
+    if (now <= it->second.expires) {
+      ++it;
+      continue;
+    }
+    it->second.repetition_timer.cancel();
+    it = originated_.erase(it);
   }
 }
 
 ActionId DenBasicService::trigger(const DenmRequest& request) {
+  expire_originated();
   const ActionId id{station_id_, next_sequence_++};
   OriginatedEvent ev;
   ev.request = request;
@@ -143,6 +165,11 @@ void DenBasicService::schedule_repetition(ActionId id) {
   ev.repetition_timer = sched_.schedule_in(*ev.request.repetition_interval, [this, id] {
     auto it2 = originated_.find(key(id));
     if (it2 == originated_.end()) return;
+    if (sched_.now() > it2->second.expires) {
+      // Validity elapsed mid-repetition-window: the event no longer exists.
+      originated_.erase(it2);
+      return;
+    }
     ++stats_.repetitions;
     transmit(it2->second.current, it2->second.request.destination_area);
     schedule_repetition(id);
@@ -183,6 +210,10 @@ void DenBasicService::on_btp_payload(const std::vector<std::uint8_t>& denm_bytes
       st.reference_time = denm.management.reference_time;
       st.detection_time = denm.management.detection_time;
       st.last_denm = denm;
+      // The update carries a fresh validityDuration: extend the local
+      // expiry, or the event is still erased (and keep-alive forwarding
+      // silently stops) at the ORIGINAL deadline.
+      st.expires = sched_.now() + sim::SimTime::seconds(denm.management.validity_duration_s);
       if (meta.destination_area) st.area = meta.destination_area;
       if (config_.enable_kaf) schedule_kaf(denm.management.action_id);
     } else {
@@ -217,17 +248,24 @@ void DenBasicService::on_btp_payload(const std::vector<std::uint8_t>& denm_bytes
 
   if (ldm_) ldm_->update_from_denm(denm);
   if (trace_) {
-    trace_->record(sched_.now(), "den." + std::to_string(station_id_),
-                   "DENM received action=" +
-                       std::to_string(denm.management.action_id.originating_station) + "/" +
-                       std::to_string(denm.management.action_id.sequence_number) +
-                       (denm.is_termination() ? " termination" : ""));
+    trace_->record_event(sched_.now(), sim::Stage::DenmRx, station_id_,
+                         sim::pack_action(denm.management.action_id.originating_station,
+                                          denm.management.action_id.sequence_number),
+                         0.0, denm.is_termination() ? sim::kDenmTermination : 0);
   }
   if (denm_cb_) denm_cb_(denm, meta, is_update);
 
-  // Expire stale reception state opportunistically.
+  // Expire stale state opportunistically — received and originated alike.
   const sim::SimTime now = sched_.now();
-  std::erase_if(received_, [&](const auto& kv) { return now > kv.second.expires; });
+  for (auto it2 = received_.begin(); it2 != received_.end();) {
+    if (now <= it2->second.expires) {
+      ++it2;
+      continue;
+    }
+    it2->second.kaf_timer.cancel();
+    it2 = received_.erase(it2);
+  }
+  expire_originated();
 }
 
 void DenBasicService::schedule_kaf(ActionId id) {
@@ -253,9 +291,8 @@ void DenBasicService::schedule_kaf(ActionId id) {
     if (!it2->second.area->contains(router_.ego().position)) return;
     ++stats_.kaf_retransmissions;
     if (trace_) {
-      trace_->record(sched_.now(), "den." + std::to_string(station_id_),
-                     "DENM keep-alive forwarded action=" + std::to_string(id.originating_station) +
-                         "/" + std::to_string(id.sequence_number));
+      trace_->record_event(sched_.now(), sim::Stage::KafForward, station_id_,
+                           sim::pack_action(id.originating_station, id.sequence_number));
     }
     transmit(it2->second.last_denm, *it2->second.area);
     schedule_kaf(id);

@@ -87,14 +87,15 @@ GnPacket GnPacket::decode(const std::vector<std::uint8_t>& buf) {
 
 GeoNetRouter::GeoNetRouter(sim::Scheduler& sched, dot11p::Radio& radio, const geo::LocalFrame& frame,
                            GnAddress address, EgoProvider ego, GeoNetConfig config,
-                           sim::RandomStream rng)
+                           sim::RandomStream rng, sim::Trace* trace)
     : sched_{sched},
       radio_{radio},
       frame_{frame},
       address_{address},
       ego_{std::move(ego)},
       config_{config},
-      rng_{rng.child("geonet")} {
+      rng_{rng.child("geonet")},
+      trace_{trace} {
   radio_.set_receive_callback(
       [this](const dot11p::Frame& f, const dot11p::RxInfo& info) { on_frame(f, info); });
   if (config_.enable_beaconing) schedule_beacon();
@@ -303,6 +304,10 @@ void GeoNetRouter::handle_ls_request(GnPacket pkt) {
     --fwd.remaining_hop_limit;
     fwd.forwarder = make_position_vector();
     ++stats_.forwarded;
+    if (trace_) {
+      trace_->record_event(sched_.now(), sim::Stage::GnForward,
+                           static_cast<std::uint32_t>(address_.value), fwd.sequence_number);
+    }
     broadcast(fwd, dot11p::AccessCategory::BestEffort);
   }
 }
@@ -390,6 +395,10 @@ void GeoNetRouter::on_frame(const dot11p::Frame& f, const dot11p::RxInfo& info) 
         --fwd.remaining_hop_limit;
         fwd.forwarder = make_position_vector();
         ++stats_.forwarded;
+        if (trace_) {
+          trace_->record_event(sched_.now(), sim::Stage::GnForward,
+                               static_cast<std::uint32_t>(address_.value), fwd.sequence_number);
+        }
         broadcast(fwd, dot11p::AccessCategory::Video);
       }
       return;
@@ -481,6 +490,10 @@ void GeoNetRouter::handle_gbc(GnPacket pkt, const dot11p::RxInfo& /*info*/) {
     cbf_timers_.erase(key);
     fwd.forwarder = make_position_vector();
     ++stats_.forwarded;
+    if (trace_) {
+      trace_->record_event(sched_.now(), sim::Stage::GnForward,
+                           static_cast<std::uint32_t>(address_.value), fwd.sequence_number);
+    }
     broadcast(fwd, dot11p::AccessCategory::Video);
   });
 }
@@ -545,6 +558,10 @@ void GeoNetRouter::handle_guc(GnPacket pkt, const dot11p::RxInfo& /*info*/) {
     cbf_timers_.erase(key);
     fwd.forwarder = make_position_vector();
     ++stats_.forwarded;
+    if (trace_) {
+      trace_->record_event(sched_.now(), sim::Stage::GnForward,
+                           static_cast<std::uint32_t>(address_.value), fwd.sequence_number);
+    }
     broadcast(fwd, dot11p::AccessCategory::Video);
   });
 }

@@ -4,10 +4,23 @@ namespace rst::middleware {
 
 OpenC2xApi::OpenC2xApi(HttpHost& host, const geo::LocalFrame& frame, its::DenBasicService& den,
                        its::Ldm* ldm, sim::Trace* trace, std::string trace_name,
-                       its::CaBasicService* ca)
+                       its::CaBasicService* ca, std::size_t max_inbox)
     : frame_{frame}, den_{den}, ca_{ca}, ldm_{ldm}, trace_{trace},
-      trace_name_{std::move(trace_name)} {
+      trace_name_{std::move(trace_name)}, max_inbox_{max_inbox == 0 ? 1 : max_inbox} {
   den_.set_denm_callback([this](const its::Denm& denm, const its::GnDeliveryMeta& meta, bool) {
+    // Bounded inbox: a slow (or dead) poller must not let undelivered DENMs
+    // accumulate without limit. Drop the OLDEST — the newest message holds
+    // the freshest event state.
+    while (inbox_.size() >= max_inbox_) {
+      const its::ActionId dropped = inbox_.front().denm.management.action_id;
+      inbox_.pop_front();
+      ++stats_.denms_dropped;
+      if (trace_) {
+        trace_->record_event(meta.delivered_at, sim::Stage::InboxDrop, den_.station_id(),
+                             sim::pack_action(dropped.originating_station,
+                                              dropped.sequence_number));
+      }
+    }
     inbox_.push_back({denm, meta.delivered_at});
   });
   host.handle("/trigger_denm", [this](const HttpRequest& req) { return handle_trigger_denm(req); });
@@ -69,11 +82,18 @@ HttpResponse OpenC2xApi::handle_trigger_denm(const HttpRequest& req) {
 
 HttpResponse OpenC2xApi::handle_request_denm(const HttpRequest&) {
   if (inbox_.empty()) return {200, {}};
-  InboxEntry entry = std::move(inbox_.front());
-  inbox_.pop_front();
+  // Drain everything pending in one response: with the inbox now bounded, a
+  // one-message-per-poll reply could fall behind a bursty sender forever.
   KvBody out;
-  out.set("denm", hex_encode(entry.denm.encode()));
-  out.set_int("received_ns", entry.received.count_ns());
+  int index = 0;
+  while (!inbox_.empty()) {
+    InboxEntry entry = std::move(inbox_.front());
+    inbox_.pop_front();
+    const std::string suffix = std::to_string(index++);
+    out.set("denm" + suffix, hex_encode(entry.denm.encode()));
+    out.set_int("received_ns" + suffix, entry.received.count_ns());
+  }
+  out.set_int("count", index);
   return {200, out.serialize()};
 }
 

@@ -59,10 +59,10 @@ void HazardAdvertisementService::scan_cam_pairs() {
     last_trigger_ = sched_.now();
     ++stats_.crossings_detected;
     if (trace_) {
-      trace_->record(sched_.now(), name_,
-                     "collision predicted: station " + std::to_string(vehicles[i].station_id) +
-                         " vs station " + std::to_string(threat->station_id) + " in " +
-                         std::to_string(threat->t_cpa_s) + " s");
+      trace_->record_event(sched_.now(), sim::Stage::HazardDecision, 0,
+                           (static_cast<std::uint64_t>(vehicles[i].station_id) << 32) |
+                               threat->station_id,
+                           threat->t_cpa_s, sim::kHazardCpaStation);
     }
     trigger_denm_at(threat->predicted_conflict_point,
                     its::EventType::of(its::Cause::CollisionRisk,
@@ -125,10 +125,9 @@ void HazardAdvertisementService::on_detections(const DetectionBatch& batch) {
       armed_ = false;
       last_trigger_ = sched_.now();
       if (trace_) {
-        trace_->record(sched_.now(), name_,
-                       "action point crossed: object " + std::to_string(det.detection.object_id) +
-                           " '" + det.detection.label + "' at " +
-                           std::to_string(det.detection.estimated_distance_m) + " m");
+        trace_->record_event(sched_.now(), sim::Stage::HazardDecision, 0,
+                             det.detection.object_id, det.detection.estimated_distance_m,
+                             sim::kHazardActionPoint);
       }
       trigger_denm(det, std::nullopt);
       return;  // one trigger per batch
@@ -147,11 +146,10 @@ void HazardAdvertisementService::on_detections(const DetectionBatch& batch) {
     armed_ = false;
     last_trigger_ = sched_.now();
     if (trace_) {
-      trace_->record(sched_.now(), name_,
-                     "collision predicted: object " + std::to_string(det.detection.object_id) +
-                         " vs station " + std::to_string(threat->station_id) + " in " +
-                         std::to_string(threat->t_cpa_s) + " s (d_cpa " +
-                         std::to_string(threat->d_cpa_m) + " m)");
+      trace_->record_event(sched_.now(), sim::Stage::HazardDecision, 0,
+                           (static_cast<std::uint64_t>(det.detection.object_id) << 32) |
+                               threat->station_id,
+                           threat->t_cpa_s, sim::kHazardCpaObject);
     }
     trigger_denm(det, threat->predicted_conflict_point);
     return;
@@ -208,13 +206,20 @@ void HazardAdvertisementService::trigger_denm_at(geo::Vec2 event_position, its::
   const auto processing =
       rng_.normal_time(config_.processing_mean, config_.processing_sigma, config_.processing_min);
   sched_.post_in(processing, [this, serialized = body.serialize()] {
+    if (trace_) {
+      trace_->record_event(sched_.now(), sim::Stage::TriggerDenm, 0, 0, 0.0,
+                           sim::kTriggerIssued);
+    }
     host_.post(config_.rsu_hostname, "/trigger_denm", serialized,
                [this](const middleware::HttpResponse& resp) {
                  if (resp.status == 200) {
                    ++stats_.denms_triggered;
                  } else {
                    ++stats_.trigger_failures;
-                   if (trace_) trace_->record(sched_.now(), name_, "trigger_denm failed");
+                   if (trace_) {
+                     trace_->record_event(sched_.now(), sim::Stage::TriggerDenm, 0, 0, 0.0,
+                                          sim::kTriggerFailed);
+                   }
                  }
                });
   });

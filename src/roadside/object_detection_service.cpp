@@ -43,6 +43,9 @@ void ObjectDetectionService::process_frame() {
   if (!running_) return;
   ++frames_;
   const CameraFrame frame = camera_.capture();
+  if (trace_) {
+    trace_->span_begin(sched_.now(), sim::Stage::CameraFrame, 0, frame.frame_number);
+  }
   auto detections = yolo_.detect(frame);
 
   const auto inference =
@@ -80,11 +83,13 @@ void ObjectDetectionService::process_frame() {
       tracked.range_rate_mps = est.updates >= 3 ? est.range_rate_mps : 0.0;
       batch.detections.push_back(std::move(tracked));
     }
-    if (trace_ && !batch.detections.empty()) {
-      trace_->record(sched_.now(), name_,
-                     "YOLO output: " + std::to_string(batch.detections.size()) +
-                         " object(s), nearest at " +
-                         std::to_string(batch.detections.front().detection.estimated_distance_m) + " m");
+    if (trace_) {
+      trace_->span_end(sched_.now(), sim::Stage::CameraFrame, 0, frame.frame_number);
+      if (!batch.detections.empty()) {
+        trace_->record_event(sched_.now(), sim::Stage::YoloDetection, 0,
+                             batch.detections.size(),
+                             batch.detections.front().detection.estimated_distance_m);
+      }
     }
     bus_.publish("detections", batch);
   });

@@ -1,0 +1,81 @@
+#include "rst/sim/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace rst::sim {
+
+LatencyHistogram::LatencyHistogram(Options options) {
+  const std::size_t n = std::max<std::size_t>(1, options.buckets);
+  const double lo = std::max(1e-12, options.min);
+  const double hi = std::max(lo * 1.0000001, options.max);
+  edges_.reserve(n);
+  const double ratio = std::log(hi / lo) / static_cast<double>(n);
+  for (std::size_t i = 1; i <= n; ++i) {
+    edges_.push_back(lo * std::exp(ratio * static_cast<double>(i)));
+  }
+  edges_.back() = hi;  // guard against rounding drift on the last edge
+  counts_.assign(edges_.size() + 1, 0);
+}
+
+void LatencyHistogram::observe(double value) {
+  if (count_ == 0) {
+    min_seen_ = max_seen_ = value;
+  } else {
+    min_seen_ = std::min(min_seen_, value);
+    max_seen_ = std::max(max_seen_, value);
+  }
+  ++count_;
+  sum_ += value;
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - edges_.begin())];
+}
+
+double LatencyHistogram::percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts_[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    // Interpolate within the covering bucket; the overflow bucket and the
+    // first bucket fall back to the observed extremes.
+    const double lower = i == 0 ? std::min(min_seen_, edges_.front()) : edges_[i - 1];
+    const double upper = i < edges_.size() ? edges_[i] : max_seen_;
+    const double fraction =
+        counts_[i] == 0 ? 0.0 : (target - before) / static_cast<double>(counts_[i]);
+    const double v = lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+    return std::clamp(v, min_seen_, max_seen_);
+  }
+  return max_seen_;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name, LatencyHistogram::Options options) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, LatencyHistogram{options}).first->second;
+}
+
+std::string MetricsRegistry::format() const {
+  std::string out;
+  char line[256];
+  for (const auto& [name, counter] : counters_) {
+    std::snprintf(line, sizeof line, "  %-32s %12llu\n", name.c_str(),
+                  static_cast<unsigned long long>(counter.value()));
+    out += line;
+  }
+  for (const auto& [name, hist] : histograms_) {
+    std::snprintf(line, sizeof line,
+                  "  %-32s n=%llu mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f\n", name.c_str(),
+                  static_cast<unsigned long long>(hist.count()), hist.mean(), hist.p50(),
+                  hist.p95(), hist.p99(), hist.max_seen());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace rst::sim

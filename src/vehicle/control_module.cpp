@@ -47,7 +47,8 @@ void ControlModule::on_command(const DriveCommand& cmd) {
     // (paper step 5).
     if (cmd.power_cut && trace_) {
       const auto wall = clock_ ? clock_->now_wall() : sched_.now();
-      trace_->record(sched_.now(), name_, "power cut commanded wall=" + wall.to_string());
+      trace_->record_event(sched_.now(), sim::Stage::PowerCutCommand, 0,
+                           static_cast<std::uint64_t>(wall.count_ns()));
     }
     // The ESC/servo apply the new duty cycle at the next PWM edge.
     const auto edge = next_pwm_edge(sched_.now());
@@ -55,7 +56,7 @@ void ControlModule::on_command(const DriveCommand& cmd) {
       ++applied_;
       if (cmd.power_cut) {
         dynamics_.cut_power();
-        if (trace_) trace_->record(sched_.now(), name_, "power cut applied");
+        if (trace_) trace_->record_event(sched_.now(), sim::Stage::PowerCutApplied);
       } else {
         dynamics_.set_throttle(cmd.throttle01);
         dynamics_.set_steering(cmd.steering_rad);

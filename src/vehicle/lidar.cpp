@@ -86,8 +86,7 @@ void AebController::on_scan(const LidarScan& scan) {
     if (forward <= stopping) {
       triggered_ = true;
       if (trace_) {
-        trace_->record(sched_.now(), name_,
-                       "AEB triggered: obstacle at " + std::to_string(forward) + " m");
+        trace_->record_event(sched_.now(), sim::Stage::AebTrigger, 0, 0, forward);
       }
       bus_.publish("emergency_stop", std::string{"AEB: obstacle ahead"});
       return;

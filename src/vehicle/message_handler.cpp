@@ -33,10 +33,13 @@ void MessageHandler::stop() {
 
 void MessageHandler::poll() {
   if (!running_) return;
-  ++stats_.polls;
-  host_.post(config_.obu_hostname, "/request_denm", {}, [this](const middleware::HttpResponse& r) {
-    if (running_) on_response(r);
-  });
+  const std::uint64_t poll_no = ++stats_.polls;
+  if (trace_) trace_->span_begin(sched_.now(), sim::Stage::DenmPoll, 0, poll_no);
+  host_.post(config_.obu_hostname, "/request_denm", {},
+             [this, poll_no](const middleware::HttpResponse& r) {
+               if (trace_) trace_->span_end(sched_.now(), sim::Stage::DenmPoll, 0, poll_no);
+               if (running_) on_response(r);
+             });
   poll_timer_ = sched_.schedule_in(config_.poll_period, [this] { poll(); });
 }
 
@@ -56,22 +59,28 @@ bool MessageHandler::is_emergency(const its::Denm& denm) {
 void MessageHandler::on_response(const middleware::HttpResponse& resp) {
   if (resp.status != 200 || resp.body.empty()) return;
   const middleware::KvBody kv = middleware::KvBody::parse(resp.body);
-  const auto hex = kv.get("denm");
-  if (!hex) return;
+  // The API drains its whole inbox per poll as denm0..denmN; older builds
+  // answered with a single "denm" key — accept either form.
+  auto hex = kv.get("denm0");
+  if (!hex) hex = kv.get("denm");
+  for (std::size_t i = 0; hex; hex = kv.get("denm" + std::to_string(++i))) {
+    handle_denm_hex(*hex);
+  }
+}
 
+void MessageHandler::handle_denm_hex(const std::string& hex) {
   its::Denm denm;
   try {
-    denm = its::Denm::decode(middleware::hex_decode(*hex));
+    denm = its::Denm::decode(middleware::hex_decode(hex));
   } catch (const std::exception&) {
     ++stats_.decode_errors;
     return;
   }
   ++stats_.denms_fetched;
   if (trace_) {
-    trace_->record(sched_.now(), name_,
-                   "DENM fetched action=" +
-                       std::to_string(denm.management.action_id.originating_station) + "/" +
-                       std::to_string(denm.management.action_id.sequence_number));
+    trace_->record_event(sched_.now(), sim::Stage::DenmFetch, 0,
+                         sim::pack_action(denm.management.action_id.originating_station,
+                                          denm.management.action_id.sequence_number));
   }
   if (!is_emergency(denm)) return;
   ++stats_.emergencies;

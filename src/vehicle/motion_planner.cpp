@@ -60,7 +60,8 @@ void MotionPlanner::on_line(const LineDetection& det) {
 void MotionPlanner::emergency_stop(const std::string& reason) {
   if (emergency_latched_) return;
   emergency_latched_ = true;
-  if (trace_) trace_->record(sched_.now(), name_, "emergency stop: " + reason);
+  if (trace_) trace_->record_event(sched_.now(), sim::Stage::EmergencyStop);
+  (void)reason;
   DriveCommand cmd;
   cmd.power_cut = true;
   ++commands_;

@@ -261,14 +261,18 @@ TEST(AdaptiveDcc, PopulationConvergesFairly) {
     st.dcc = std::make_unique<AdaptiveDcc>(rig.sched, *st.radio, *st.probe);
     stations.push_back(std::move(st));
   }
-  // Saturating offer: every station wants 50 Hz of 800-byte frames.
+  // Saturating offer: every station wants 50 Hz of 800-byte frames. The
+  // self-rescheduling closures capture a raw self-pointer (an owning
+  // capture would be a shared_ptr cycle); `offers` keeps them alive.
+  std::vector<std::unique_ptr<std::function<void()>>> offers;
   for (auto& st : stations) {
-    auto offer = std::make_shared<std::function<void()>>();
-    *offer = [&rig, dcc = st.dcc.get(), offer] {
+    auto offer = std::make_unique<std::function<void()>>();
+    *offer = [&rig, dcc = st.dcc.get(), self = offer.get()] {
       dcc->send(frame_of(800));
-      rig.sched.schedule_in(20_ms, *offer);
+      rig.sched.schedule_in(20_ms, *self);
     };
     rig.sched.schedule_in(20_ms, *offer);
+    offers.push_back(std::move(offer));
   }
   rig.sched.run_until(60_s);
 

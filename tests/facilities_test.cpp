@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 
 #include "rst/its/facilities/ca_basic_service.hpp"
@@ -521,6 +522,94 @@ TEST(Ldm, DumpRendersAllEntryKinds) {
   EXPECT_NE(dump.find("station 42"), std::string::npos);
   EXPECT_NE(dump.find("Collision risk"), std::string::npos);
   EXPECT_NE(dump.find("stop sign"), std::string::npos);
+}
+
+TEST(DenService, UpdateExtendsReceivedExpiryAndKafSurvives) {
+  Rig rig;
+  auto& originator = rig.add_station(900, {0, 0});
+  auto& b = rig.add_station(42, {20, 0});
+  DenConfig kaf_config;
+  kaf_config.enable_kaf = true;
+  kaf_config.kaf_default_interval = 300_ms;
+  b.den = std::make_unique<DenBasicService>(rig.sched, *b.router, 42, nullptr, b.ldm.get(),
+                                            kaf_config);
+
+  DenmRequest r = basic_request({10, 0});
+  r.validity = 2_s;
+  const ActionId id = originator.den->trigger(r);
+  rig.sched.run_until(1_s);
+
+  // Update with double the validity: the receiver's expiry must move out to
+  // the update's window, not stay pinned at the original 2 s deadline.
+  DenmRequest update = basic_request({10, 0});
+  update.validity = 4_s;
+  originator.den->update(id, update);
+  rig.sched.run_until(1100_ms);
+
+  const auto st = b.den->received_state(id);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_GT(st->expires, 4_s);
+
+  // The keep-alive chain must survive past the ORIGINAL deadline and keep
+  // forwarding until the extended one.
+  rig.sched.run_until(2500_ms);
+  const auto past_original = b.den->stats().kaf_retransmissions;
+  EXPECT_GE(past_original, 1u);
+  rig.sched.run_until(4_s);
+  EXPECT_GT(b.den->stats().kaf_retransmissions, past_original);
+}
+
+TEST(DenService, OriginatedEventExpiresAndStopsRepetition) {
+  Rig rig;
+  auto& a = rig.add_station(900, {0, 0});
+  rig.add_station(42, {20, 0});
+  DenmRequest r = basic_request({10, 0});
+  r.validity = 1_s;
+  r.repetition_interval = 100_ms;
+  r.repetition_duration = 10_s;  // repetition window deliberately > validity
+  const ActionId id = a.den->trigger(r);
+  rig.sched.run_until(5_s);
+  // The 1 s validity caps the repetition chain, not the 10 s window: ~9-10
+  // repetitions, never the ~49 a validity-blind repeater would emit.
+  EXPECT_GE(a.den->stats().repetitions, 8u);
+  EXPECT_LE(a.den->stats().repetitions, 10u);
+  // And the originated state itself is gone once the validity elapsed.
+  EXPECT_FALSE(a.den->owns(id));
+}
+
+TEST(DenService, BuildDenmClampsValidityAndRoundsHeading) {
+  Rig rig;
+  auto& a = rig.add_station(900, {0, 0});
+  std::vector<Denm> sent;
+  a.den->set_transmit_hook([&](const Denm& d) { sent.push_back(d); });
+
+  // validityDuration is 0..86400 s in EN 302 637-3: oversized requests clamp
+  // instead of wrapping through the PER constraint.
+  DenmRequest r = basic_request({10, 0});
+  r.validity = sim::SimTime::seconds(100'000);
+  r.event_heading_rad = 0.05 * M_PI / 180.0;  // 0.05 deg
+  a.den->trigger(r);
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].management.validity_duration_s, 86400u);
+  // 0.05 deg rounds UP to 1 deci-degree; truncation used to floor it to 0.
+  ASSERT_TRUE(sent[0].location.has_value());
+  ASSERT_TRUE(sent[0].location->event_position_heading.has_value());
+  EXPECT_EQ(sent[0].location->event_position_heading->value_01deg, 1);
+
+  // Just below 360 deg rounds up to 3600, which must wrap to 0.
+  DenmRequest r2 = basic_request({10, 0});
+  r2.event_heading_rad = 359.96 * M_PI / 180.0;
+  a.den->trigger(r2);
+  ASSERT_EQ(sent.size(), 2u);
+  ASSERT_TRUE(sent[1].location->event_position_heading.has_value());
+  EXPECT_EQ(sent[1].location->event_position_heading->value_01deg, 0);
+
+  // Sub-second validity still announces at least 1 s.
+  DenmRequest r3 = basic_request({10, 0});
+  r3.validity = sim::SimTime::milliseconds(200);
+  a.den->trigger(r3);
+  ASSERT_EQ(sent.size(), 3u);
+  EXPECT_EQ(sent[2].management.validity_duration_s, 1u);
 }
 
 }  // namespace

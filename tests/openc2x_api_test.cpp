@@ -108,14 +108,48 @@ TEST(OpenC2xApi, RequestDenmDrainsInboxFifo) {
   };
   poll();
   poll();
-  poll();
-  ASSERT_EQ(bodies.size(), 3u);
-  const auto first_out = its::Denm::decode(hex_decode(*KvBody::parse(bodies[0]).get("denm")));
-  const auto second_out = its::Denm::decode(hex_decode(*KvBody::parse(bodies[1]).get("denm")));
+  ASSERT_EQ(bodies.size(), 2u);
+  // One poll drains the whole inbox, oldest first, as denm0..denmN.
+  const auto kv = KvBody::parse(bodies[0]);
+  EXPECT_EQ(kv.get_int("count"), 2);
+  const auto first_out = its::Denm::decode(hex_decode(*kv.get("denm0")));
+  const auto second_out = its::Denm::decode(hex_decode(*kv.get("denm1")));
   EXPECT_EQ(first_out.management.action_id.sequence_number, 1);
   EXPECT_EQ(second_out.management.action_id.sequence_number, 2);
-  EXPECT_TRUE(bodies[2].empty());  // inbox drained: HTTP 200 with empty body
+  EXPECT_TRUE(kv.get("received_ns0").has_value());
+  EXPECT_TRUE(bodies[1].empty());  // inbox drained: HTTP 200 with empty body
   EXPECT_EQ(rig.api->pending_denms(), 0u);
+}
+
+TEST(OpenC2xApi, InboxBoundDropsOldest) {
+  ApiRig rig;
+  sim::Trace trace;
+  // Rebuild the API with a tiny inbox so the bound is exercised quickly.
+  rig.api = std::make_unique<OpenC2xApi>(rig.host, rig.frame, *rig.den, nullptr, &trace,
+                                         std::string{}, nullptr, /*max_inbox=*/4);
+  its::GnDeliveryMeta meta;
+  meta.delivered_at = rig.sched.now();
+  for (std::uint16_t seq = 1; seq <= 6; ++seq) {
+    its::Denm denm;
+    denm.management.action_id = {7, seq};
+    rig.den->on_btp_payload(denm.encode(), meta);
+  }
+  // Bounded at 4: the two oldest (seq 1, 2) were evicted and counted.
+  EXPECT_EQ(rig.api->pending_denms(), 4u);
+  EXPECT_EQ(rig.api->stats().denms_dropped, 2u);
+  EXPECT_EQ(trace.find_all_events(sim::Stage::InboxDrop).size(), 2u);
+
+  // The survivors drain in FIFO order: seq 3..6.
+  std::string body;
+  rig.client.post("obu", "/request_denm", "",
+                  [&](const HttpResponse& resp) { body = resp.body; });
+  rig.sched.run();
+  const auto kv = KvBody::parse(body);
+  EXPECT_EQ(kv.get_int("count"), 4);
+  for (int i = 0; i < 4; ++i) {
+    const auto out = its::Denm::decode(hex_decode(*kv.get("denm" + std::to_string(i))));
+    EXPECT_EQ(out.management.action_id.sequence_number, i + 3);
+  }
 }
 
 }  // namespace

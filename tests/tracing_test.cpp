@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "rst/core/experiment.hpp"
+#include "rst/core/testbed.hpp"
+#include "rst/sim/metrics.hpp"
+#include "rst/sim/trace.hpp"
+
+namespace rst::sim {
+namespace {
+
+using namespace rst::sim::literals;
+
+TEST(TraceTyped, RecordAndQueryByStageAndStation) {
+  Trace trace;
+  trace.record_event(1_ms, Stage::DenmTx, 900, pack_action(900, 1));
+  trace.record_event(2_ms, Stage::DenmRx, 42, pack_action(900, 1));
+  trace.record_event(3_ms, Stage::DenmTx, 900, pack_action(900, 2));
+
+  ASSERT_EQ(trace.events().size(), 3u);
+  const TraceEvent* first_tx = trace.find_event(Stage::DenmTx);
+  ASSERT_NE(first_tx, nullptr);
+  EXPECT_EQ(first_tx->when, 1_ms);
+  EXPECT_EQ(action_station(first_tx->a), 900u);
+  EXPECT_EQ(action_sequence(first_tx->a), 1u);
+
+  const TraceEvent* later_tx = trace.find_event(Stage::DenmTx, 2_ms);
+  ASSERT_NE(later_tx, nullptr);
+  EXPECT_EQ(later_tx->when, 3_ms);
+
+  EXPECT_EQ(trace.find_event(Stage::DenmRx, SimTime::zero(), 900), nullptr);
+  const TraceEvent* rx = trace.find_event(Stage::DenmRx, SimTime::zero(), 42);
+  ASSERT_NE(rx, nullptr);
+  EXPECT_EQ(rx->when, 2_ms);
+
+  EXPECT_EQ(trace.find_all_events(Stage::DenmTx).size(), 2u);
+  EXPECT_EQ(trace.find_event(Stage::AebTrigger), nullptr);
+}
+
+TEST(TraceTyped, RingCapacityDropsNewestAndCounts) {
+  Trace trace;
+  trace.set_event_capacity(4);
+  for (int i = 0; i < 6; ++i) {
+    trace.record_event(SimTime::milliseconds(i), Stage::CamTx, 1,
+                       static_cast<std::uint64_t>(i));
+  }
+  // Drop-new semantics: the earliest (pipeline-critical) events survive.
+  ASSERT_EQ(trace.events().size(), 4u);
+  EXPECT_EQ(trace.events_dropped(), 2u);
+  EXPECT_EQ(trace.events().front().a, 0u);
+  EXPECT_EQ(trace.events().back().a, 3u);
+}
+
+TEST(TraceTyped, LegacyViewRendersTypedEventsInSequenceOrder) {
+  Trace trace;
+  trace.record(1_ms, "custom", "string record first");
+  trace.record_event(2_ms, Stage::DenmTx, 900, pack_action(900, 1));
+  trace.record_event(3_ms, Stage::DenmRx, 42, pack_action(900, 1));
+  trace.record(4_ms, "custom", "string record last");
+
+  // The merged view interleaves both paths in recording order.
+  const auto& all = trace.records();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].message, "string record first");
+  EXPECT_EQ(all[1].component, "den.900");
+  EXPECT_EQ(all[1].message, "DENM sent action=900/1");
+  EXPECT_EQ(all[2].component, "den.42");
+  EXPECT_EQ(all[2].message, "DENM received action=900/1");
+  EXPECT_EQ(all[3].message, "string record last");
+
+  // The legacy queries the rest of the codebase uses keep working.
+  EXPECT_NE(trace.find("den.900", "DENM sent"), nullptr);
+  EXPECT_NE(trace.find("den.42", "DENM received"), nullptr);
+  EXPECT_EQ(trace.find_all("den.", "action=900/1").size(), 2u);
+
+  // New recordings invalidate and rebuild the view.
+  trace.record_event(5_ms, Stage::KafForward, 42, pack_action(900, 1));
+  EXPECT_EQ(trace.records().size(), 5u);
+  EXPECT_NE(trace.find("den.42", "keep-alive forwarded"), nullptr);
+}
+
+TEST(TraceTyped, SpanPairsRenderAsAsyncChromeEvents) {
+  Trace trace;
+  trace.span_begin(1_ms, Stage::DenmPoll, 0, 7);
+  trace.span_end(2_ms, Stage::DenmPoll, 0, 7);
+  trace.record_event(3_ms, Stage::EmergencyStop);
+  trace.record(4_ms, "custom", "legacy \"quoted\" message");
+
+  const std::string json = trace.to_chrome_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"DenmPoll\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  // ts is microseconds.
+  EXPECT_NE(json.find("\"ts\":1000"), std::string::npos);
+  // The legacy record rides along with its message escaped.
+  EXPECT_NE(json.find("legacy \\\"quoted\\\" message"), std::string::npos);
+}
+
+/// Minimal structural JSON check: balanced {} / [] outside strings, valid
+/// escapes inside. Catches broken quoting/escaping without a full parser.
+bool json_well_formed(const std::string& text) {
+  std::vector<char> stack;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        if (i + 1 >= text.size()) return false;
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character inside a string
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': stack.push_back('}'); break;
+      case '[': stack.push_back(']'); break;
+      case '}':
+      case ']':
+        if (stack.empty() || stack.back() != c) return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+TEST(TraceTyped, FullScenarioEmitsAllPipelineStagesAndValidJson) {
+  core::TestbedConfig config;
+  config.seed = 9;
+  core::TestbedScenario scenario{config};
+  const auto result = scenario.run_emergency_brake_trial();
+  ASSERT_TRUE(result.stopped_by_denm);
+
+  // Every Fig. 4 stage of the camera -> YOLO -> DENM -> actuation pipeline
+  // must be present as a typed event.
+  const Trace& trace = scenario.trace();
+  for (const Stage stage :
+       {Stage::CameraFrame, Stage::YoloDetection, Stage::HazardDecision, Stage::TriggerDenm,
+        Stage::DenmTx, Stage::DenmRx, Stage::DenmPoll, Stage::DenmFetch, Stage::EmergencyStop,
+        Stage::PowerCutCommand, Stage::PowerCutApplied}) {
+    EXPECT_NE(trace.find_event(stage), nullptr) << "missing stage " << stage_name(stage);
+  }
+
+  // And the stage ordering must follow the physical pipeline.
+  const auto* det = trace.find_event(Stage::HazardDecision);
+  const auto* tx = trace.find_event(Stage::DenmTx);
+  const auto* rx = trace.find_event(Stage::DenmRx, SimTime::zero(), config.obu.station_id);
+  const auto* fetch = trace.find_event(Stage::DenmFetch);
+  const auto* cut = trace.find_event(Stage::PowerCutCommand);
+  ASSERT_TRUE(det && tx && rx && fetch && cut);
+  EXPECT_LE(det->when, tx->when);
+  EXPECT_LE(tx->when, rx->when);
+  EXPECT_LE(rx->when, fetch->when);
+  EXPECT_LE(fetch->when, cut->when);
+
+  const std::string json = trace.to_chrome_trace_json();
+  EXPECT_TRUE(json_well_formed(json));
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"HazardDecision\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"CameraFrame\""), std::string::npos);
+}
+
+TEST(Metrics, CounterAndHistogramBasics) {
+  MetricsRegistry registry;
+  auto& c = registry.counter("denms_dropped");
+  c.add();
+  c.add(4);
+  EXPECT_EQ(registry.counter("denms_dropped").value(), 5u);
+
+  auto& h = registry.histogram("latency_ms");
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(h.min_seen(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max_seen(), 100.0);
+  // Bucketed percentiles: generous tolerance, but the ordering must hold.
+  EXPECT_NEAR(h.p50(), 50.0, 10.0);
+  EXPECT_NEAR(h.p95(), 95.0, 10.0);
+  EXPECT_NEAR(h.p99(), 99.0, 10.0);
+  EXPECT_LE(h.p50(), h.p95());
+  EXPECT_LE(h.p95(), h.p99());
+  EXPECT_LE(h.p99(), h.max_seen());
+
+  const std::string text = registry.format();
+  EXPECT_NE(text.find("denms_dropped"), std::string::npos);
+  EXPECT_NE(text.find("latency_ms"), std::string::npos);
+  EXPECT_NE(text.find("p99"), std::string::npos);
+}
+
+TEST(Metrics, HistogramEdgeCases) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  h.observe(3.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 3.0);  // single sample: clamped to [min, max] seen
+  h.observe(1'000'000.0);          // beyond the last finite edge -> overflow bucket
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.max_seen(), 1'000'000.0);
+  EXPECT_LE(h.p99(), h.max_seen());
+}
+
+TEST(ExperimentMetrics, SummaryCarriesStageHistograms) {
+  core::TestbedConfig config;
+  config.seed = 21;
+  const auto summary = core::run_emergency_brake_experiment(config, 3, 1);
+  EXPECT_EQ(summary.metrics.counters().at("trials").value(), 3u);
+  const auto& total = summary.metrics.histograms().at("stage.total_ms");
+  EXPECT_EQ(total.count(), summary.total_ms.count());
+  if (total.count() > 0) {
+    EXPECT_NEAR(total.mean(), summary.total_ms.mean(), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace rst::sim
