@@ -6,6 +6,7 @@
 //   run_experiment [--trials N] [--seed S] [--threads T] [--poll-ms P]
 //                  [--fps F] [--speed V] [--action-point D]
 //                  [--bearer its-g5|embb|urllc] [--csv] [--trace-out FILE]
+//                  [--fault-plan FILE]
 //
 // Prints the Table II/III style summary; --csv additionally dumps one line
 // per trial for external analysis. --threads fans the trials out over a
@@ -13,7 +14,10 @@
 // RST_THREADS environment variable, else auto) — results are identical at
 // any thread count. --trace-out runs one extra trial at the base seed and
 // writes its full stage timeline as Chrome trace-event JSON (open in
-// Perfetto / chrome://tracing).
+// Perfetto / chrome://tracing). --fault-plan installs a deterministic
+// fault-injection schedule from a config file of `fault = ...` clauses
+// (plus any other override keys, e.g. watchdog = true); see
+// examples/degraded_run.conf.
 
 #include <cstdio>
 #include <cstdlib>
@@ -31,7 +35,7 @@ void usage(const char* argv0) {
   std::printf(
       "usage: %s [--trials N] [--seed S] [--threads T] [--poll-ms P] [--fps F]\n"
       "          [--speed V] [--action-point D] [--bearer its-g5|embb|urllc] [--csv]\n"
-      "          [--config FILE] [--list-config-keys] [--trace-out FILE]\n",
+      "          [--config FILE] [--fault-plan FILE] [--list-config-keys] [--trace-out FILE]\n",
       argv0);
 }
 
@@ -85,10 +89,12 @@ int main(int argc, char** argv) {
       csv = true;
     } else if (arg == "--trace-out") {
       trace_out = next();
-    } else if (arg == "--config") {
+    } else if (arg == "--config" || arg == "--fault-plan") {
+      // A fault plan is just a config file whose keys are fault clauses
+      // (and typically the watchdog knobs), so both flags share the parser.
       std::ifstream file{next()};
       if (!file) {
-        std::fprintf(stderr, "cannot open config file\n");
+        std::fprintf(stderr, "cannot open %s file\n", arg.c_str() + 2);
         return 2;
       }
       std::string text{std::istreambuf_iterator<char>{file}, std::istreambuf_iterator<char>{}};

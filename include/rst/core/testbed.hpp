@@ -9,6 +9,7 @@
 #include "rst/dot11p/medium.hpp"
 #include "rst/middleware/message_bus.hpp"
 #include "rst/roadside/hazard_service.hpp"
+#include "rst/sim/fault_plan.hpp"
 #include "rst/roadside/object_detection_service.hpp"
 #include "rst/vehicle/control_module.hpp"
 #include "rst/vehicle/dynamics.hpp"
@@ -34,6 +35,11 @@ enum class WarningPath : std::uint8_t { ItsG5, CellularEmbb, CellularUrllc };
 struct TestbedConfig {
   std::uint64_t seed{1};
   WarningPath warning_path{WarningPath::ItsG5};
+  /// Deterministic fault-injection schedule. Empty (the default) means no
+  /// injector is constructed at all: every component hook is a strict
+  /// no-op and the simulation is byte-identical to a build without the
+  /// subsystem. Clauses parse from config files via `fault = ...` lines.
+  sim::FaultPlan fault_plan{};
 
   // --- Geometry (local east-north metres) ---
   geo::GeoPosition origin{41.1780, -8.6080};  // the lab's anchor coordinate
@@ -183,6 +189,8 @@ class TestbedScenario {
   [[nodiscard]] middleware::NtpClock& edge_clock() { return *edge_clock_; }
   [[nodiscard]] middleware::NtpClock& jetson_clock() { return *jetson_clock_; }
   [[nodiscard]] middleware::HttpLan& lan() { return *lan_; }
+  /// Null when the configured fault plan is empty.
+  [[nodiscard]] sim::FaultInjector* fault_injector() { return faults_.get(); }
 
   /// Starts every service (also done by run_emergency_brake_trial).
   void start_services();
@@ -201,6 +209,7 @@ class TestbedScenario {
   sim::Trace trace_;
   sim::RandomStream rng_;
   geo::LocalFrame frame_;
+  std::unique_ptr<sim::FaultInjector> faults_;
 
   std::unique_ptr<dot11p::Medium> medium_;
   std::unique_ptr<middleware::HttpLan> lan_;

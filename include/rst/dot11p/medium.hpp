@@ -11,6 +11,10 @@
 #include "rst/sim/random.hpp"
 #include "rst/sim/scheduler.hpp"
 
+namespace rst::sim {
+class FaultInjector;
+}
+
 namespace rst::dot11p {
 
 class Radio;
@@ -89,6 +93,13 @@ class Medium {
 
   [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
   [[nodiscard]] const ChannelModel& channel() const { return channel_; }
+
+  /// Subscribes the medium to a fault plan (injection point "medium":
+  /// RadioBlackout / RadioAttenuation windows). Null detaches; the default
+  /// path is a single pointer check per transmission. The extra attenuation
+  /// is applied after the stochastic draws (legacy) / to the deterministic
+  /// budget (per-link), so the draw sequence is unchanged by the hook.
+  void set_fault_injector(sim::FaultInjector* faults) { faults_ = faults; }
 
  private:
   struct Transmission {
@@ -186,6 +197,9 @@ class Medium {
   sim::SimTime last_reindex_{};
   sim::SimTime reindex_period_{};
   double max_antenna_gain_dbi_{0.0};
+  sim::FaultInjector* faults_{nullptr};
+  /// Fault attenuation (dB) snapshotted once per transmission start.
+  double tx_fault_db_{0.0};
   Stats stats_;
   std::uint64_t next_mac_{0x020000000001ULL};  // locally administered
 };

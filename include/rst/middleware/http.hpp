@@ -7,6 +7,10 @@
 #include "rst/sim/random.hpp"
 #include "rst/sim/scheduler.hpp"
 
+namespace rst::sim {
+class FaultInjector;
+}
+
 namespace rst::middleware {
 
 struct HttpRequest {
@@ -54,15 +58,31 @@ class HttpLan {
   /// Issues a request from any attached context to `hostname`.
   void request(const std::string& hostname, HttpRequest req, ResponseCallback cb);
 
+  /// Subscribes the LAN to a fault plan. Injection points: HttpLoss /
+  /// HttpStall match target "lan" (or wildcard); NodeDown matches the
+  /// destination hostname — a downed host loses every request addressed to
+  /// it until the window closes (crash → restart). An HttpLoss clause draws
+  /// from the LAN's own stream, worst-of-composed with the legacy
+  /// `loss_probability` knob, so a whole-run clause is draw-for-draw
+  /// equivalent to setting the knob.
+  void set_fault_injector(sim::FaultInjector* faults) { faults_ = faults; }
+
   [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
   [[nodiscard]] std::uint64_t requests_sent() const { return requests_; }
+  /// Requests that vanished (legacy loss knob, HttpLoss or NodeDown); the
+  /// caller sees status 0 after `loss_timeout`.
+  [[nodiscard]] std::uint64_t requests_lost() const { return requests_lost_; }
 
  private:
+  [[nodiscard]] bool lose_request(const std::string& hostname);
+
   sim::Scheduler& sched_;
   sim::RandomStream rng_;
   Config config_;
   std::map<std::string, HttpHost*> hosts_;
+  sim::FaultInjector* faults_{nullptr};
   std::uint64_t requests_{0};
+  std::uint64_t requests_lost_{0};
 };
 
 /// One HTTP server on the LAN; handlers are registered per path.

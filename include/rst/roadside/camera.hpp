@@ -9,6 +9,10 @@
 #include "rst/geo/vec2.hpp"
 #include "rst/sim/scheduler.hpp"
 
+namespace rst::sim {
+class FaultInjector;
+}
+
 namespace rst::roadside {
 
 /// How the scale vehicle presents itself to the road-side camera — the
@@ -66,12 +70,27 @@ class RoadsideCamera {
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] std::uint64_t frames_captured() const { return frame_counter_; }
 
+  /// Subscribes the camera to a fault plan (injection point "camera"):
+  /// CameraFreeze replays the last pre-window frame's objects, CameraDrop
+  /// returns empty frames with probability `severity`. Null detaches.
+  void set_fault_injector(sim::FaultInjector* faults) { faults_ = faults; }
+
+  struct Stats {
+    std::uint64_t frames_frozen{0};
+    std::uint64_t frames_dropped{0};
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
  private:
   sim::Scheduler& sched_;
   Config config_;
   std::vector<CameraObject> objects_;
   std::vector<dot11p::Wall> walls_;
   std::uint64_t frame_counter_{0};
+  sim::FaultInjector* faults_{nullptr};
+  /// Object list of the last live frame, replayed during a freeze window.
+  std::vector<ObservedObject> last_objects_;
+  Stats stats_;
 };
 
 }  // namespace rst::roadside

@@ -37,6 +37,14 @@ struct HazardServiceConfig {
   /// (the paper's reason for tying the threshold to "this value").
   double min_range_default_m{1.73};
   bool treat_min_range_default_as_crossing{true};
+  /// Detection quality gates. With the defaults every detection is
+  /// considered (the paper's deployment triggers on distance alone); raise
+  /// them to make the decision robust against misclassification and
+  /// confidence-collapse faults.
+  double min_confidence{0.0};
+  /// Only react to labels the hazard logic recognises as road users
+  /// (car/truck/bus/motorbike/bicycle/person/stop sign).
+  bool require_known_road_user{false};
   /// Decision + LDM-consult + request-marshalling time on the edge node.
   sim::SimTime processing_mean{sim::SimTime::milliseconds(25)};
   sim::SimTime processing_sigma{sim::SimTime::milliseconds(4)};
@@ -84,6 +92,8 @@ class HazardAdvertisementService {
     std::uint64_t crossings_detected{0};
     std::uint64_t denms_triggered{0};
     std::uint64_t trigger_failures{0};
+    /// Detections dropped by the confidence / known-road-user gates.
+    std::uint64_t detections_gated{0};
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const Config& config() const { return config_; }

@@ -6,6 +6,10 @@
 #include "rst/roadside/camera.hpp"
 #include "rst/sim/random.hpp"
 
+namespace rst::sim {
+class FaultInjector;
+}
+
 namespace rst::roadside {
 
 /// A single YOLO bounding-box result for one frame.
@@ -77,9 +81,18 @@ class YoloSimulator {
   [[nodiscard]] const ClassProfile& profile(Presentation p) const;
   [[nodiscard]] const Config& config() const { return config_; }
 
+  /// Subscribes the detector to a fault plan (injection point "yolo"):
+  /// YoloMiss suppresses detections with probability `severity` (on top of
+  /// the profile's own miss rate), YoloMisclassify corrupts labels with
+  /// probability `severity`, YoloConfidence multiplies confidences by
+  /// 1-severity (collapse). All draws come from the injector's streams, so
+  /// the detector's own stream is untouched outside fault windows.
+  void set_fault_injector(sim::FaultInjector* faults) { faults_ = faults; }
+
  private:
   sim::RandomStream rng_;
   Config config_;
+  sim::FaultInjector* faults_{nullptr};
 };
 
 }  // namespace rst::roadside

@@ -31,6 +31,9 @@ enum class Stage : std::uint8_t {
   CamRx,            ///< CA basic service received a CAM
   ModemDenmRx,      ///< cellular bearer: DENM delivered to the vehicle modem
   AebTrigger,       ///< on-board AEB fallback fired
+  FaultWindow,        ///< fault-plan clause window (span: activation→recovery)
+  WatchdogDegraded,   ///< liveness watchdog lost infrastructure contact
+  WatchdogRecovered,  ///< liveness watchdog saw polling resume
 };
 
 /// Chrome trace-event phase of a typed record: a point event or one end of

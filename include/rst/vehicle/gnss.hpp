@@ -5,6 +5,10 @@
 #include "rst/sim/scheduler.hpp"
 #include "rst/vehicle/dynamics.hpp"
 
+namespace rst::sim {
+class FaultInjector;
+}
+
 namespace rst::vehicle {
 
 struct GnssConfig {
@@ -42,6 +46,11 @@ class GnssReceiver {
   /// Current total error vs ground truth (for instrumentation/tests).
   [[nodiscard]] double error_m() const { return geo::distance(last_fix_, vehicle_.position()); }
 
+  /// Subscribes the receiver to a fault plan (injection point "gnss"):
+  /// during a GnssDrift window the bias ramps at `severity` m/s along a
+  /// direction drawn once per activation from the injector's stream.
+  void set_fault_injector(sim::FaultInjector* faults) { faults_ = faults; }
+
  private:
   void tick();
 
@@ -49,6 +58,9 @@ class GnssReceiver {
   const VehicleDynamics& vehicle_;
   sim::RandomStream rng_;
   Config config_;
+  sim::FaultInjector* faults_{nullptr};
+  geo::Vec2 drift_direction_{};
+  bool drifting_{false};
   geo::Vec2 bias_{};
   geo::Vec2 last_fix_{};
   sim::SimTime last_fix_time_{};

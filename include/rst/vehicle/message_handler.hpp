@@ -16,6 +16,18 @@ struct MessageHandlerConfig {
   /// Local handling time between response arrival and the bus publish.
   sim::SimTime handling_latency{sim::SimTime::microseconds(600)};
   sim::SimTime handling_jitter{sim::SimTime::microseconds(400)};
+  /// DENM/CAM-liveness watchdog: when no successful poll response has been
+  /// seen for `watchdog_timeout`, publish WatchdogState{degraded=true} on
+  /// the "watchdog" topic — the planner caps its speed at the failsafe and
+  /// the on-board AEB is armed — and recover on the next good response.
+  /// Off by default (the nominal chain is byte-identical with it off).
+  bool watchdog{false};
+  sim::SimTime watchdog_timeout{sim::SimTime::milliseconds(400)};
+};
+
+/// Degradation state broadcast by the liveness watchdog (topic "watchdog").
+struct WatchdogState {
+  bool degraded{false};
 };
 
 /// The paper's OBU-polling script: "a Python script running at the Jetson
@@ -48,13 +60,24 @@ class MessageHandler {
     std::uint64_t denms_fetched{0};
     std::uint64_t emergencies{0};
     std::uint64_t decode_errors{0};
+    /// Poll responses that came back failed (lost request / non-200).
+    std::uint64_t failed_polls{0};
+    /// Polls issued while the previous response had failed — the fixed
+    /// cadence doubles as the retry/backoff loop.
+    std::uint64_t retries{0};
+    std::uint64_t watchdog_degradations{0};
+    std::uint64_t watchdog_recoveries{0};
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// True while the liveness watchdog considers infrastructure contact lost.
+  [[nodiscard]] bool degraded() const { return degraded_; }
 
  private:
   void poll();
   void on_response(const middleware::HttpResponse& resp);
   void handle_denm_hex(const std::string& hex);
+  void set_degraded(bool degraded);
 
   sim::Scheduler& sched_;
   middleware::MessageBus& bus_;
@@ -64,6 +87,9 @@ class MessageHandler {
   sim::Trace* trace_;
   std::string name_;
   bool running_{false};
+  bool last_poll_failed_{false};
+  bool degraded_{false};
+  sim::SimTime last_contact_{};
   sim::EventHandle poll_timer_;
   Stats stats_;
 };

@@ -31,6 +31,10 @@ struct MotionPlannerConfig {
   /// Heading-error blend: effective error = offset + k_heading * sin(err).
   double heading_gain_m{0.35};
   double target_speed_mps{1.2};
+  /// Speed cap while the liveness watchdog reports infrastructure contact
+  /// lost (topic "watchdog"): creep slowly so the on-board sensors can
+  /// still stop the vehicle within their short range.
+  double failsafe_speed_mps{0.35};
   /// Simple proportional throttle to hold target speed.
   double speed_kp{1.5};
   /// Feed-forward throttle near the rolling-resistance equilibrium.
@@ -54,6 +58,8 @@ class MotionPlanner {
 
   [[nodiscard]] bool stopped() const { return emergency_latched_; }
   [[nodiscard]] std::uint64_t commands_sent() const { return commands_; }
+  /// True while the planner holds the watchdog failsafe speed cap.
+  [[nodiscard]] bool degraded() const { return degraded_; }
 
   /// Releases the latch (new experiment run).
   void reset();
@@ -72,6 +78,7 @@ class MotionPlanner {
   sim::SimTime last_line_time_{};
   bool has_last_line_{false};
   bool emergency_latched_{false};
+  bool degraded_{false};
   std::uint64_t commands_{0};
 };
 

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "rst/sim/fault_plan.hpp"
+
 namespace rst::core {
 
 namespace {
@@ -122,6 +124,37 @@ const std::map<std::string, Entry>& registry() {
           else c.hazard.denm_repetition = SimTime::milliseconds(ms);
         },
         "DENM repetition interval (0 disables)"}},
+      {"fault",
+       {[](TestbedConfig& c, const std::string& v) {
+          c.fault_plan.clauses.push_back(sim::parse_fault_clause(v));
+        },
+        "fault clause kind:target:start_ms:end_ms:severity (repeatable)"}},
+      {"watchdog",
+       {[](TestbedConfig& c, const std::string& v) {
+          c.message_handler.watchdog = parse_bool(v, "watchdog");
+        },
+        "DENM/CAM-liveness watchdog (failsafe degradation)"}},
+      {"watchdog_timeout_ms",
+       {[](TestbedConfig& c, const std::string& v) {
+          c.message_handler.watchdog_timeout =
+              SimTime::milliseconds(parse_int(v, "watchdog_timeout_ms"));
+        },
+        "silence before the watchdog degrades"}},
+      {"failsafe_speed_mps",
+       {[](TestbedConfig& c, const std::string& v) {
+          c.planner.failsafe_speed_mps = parse_double(v, "failsafe_speed_mps");
+        },
+        "speed cap while degraded"}},
+      {"hazard_min_confidence",
+       {[](TestbedConfig& c, const std::string& v) {
+          c.hazard.min_confidence = parse_double(v, "hazard_min_confidence");
+        },
+        "minimum detection confidence the hazard service reacts to"}},
+      {"hazard_require_known_road_user",
+       {[](TestbedConfig& c, const std::string& v) {
+          c.hazard.require_known_road_user = parse_bool(v, "hazard_require_known_road_user");
+        },
+        "ignore detections whose label is not a road user"}},
       {"trigger_mode",
        {[](TestbedConfig& c, const std::string& v) {
           if (v == "action-point") {

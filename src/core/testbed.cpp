@@ -55,6 +55,13 @@ void TestbedConfig::validate() const {
 TestbedScenario::TestbedScenario(TestbedConfig config)
     : config_{std::move(config)}, rng_{config_.seed, "testbed"}, frame_{config_.origin} {
   config_.validate();
+  // The injector exists only when there is a plan: with no plan every
+  // component hook stays a null-pointer no-op and the run is byte-identical
+  // to one without the fault subsystem (no extra events, no extra draws).
+  if (!config_.fault_plan.empty()) {
+    faults_ = std::make_unique<sim::FaultInjector>(sched_, rng_.child("faults"),
+                                                   config_.fault_plan, &trace_);
+  }
   dot11p::ChannelModel channel;
   channel.path_loss = std::shared_ptr<const dot11p::PathLossModel>{make_path_loss(config_)};
   channel.shadowing_sigma_db = config_.shadowing_sigma_db;
@@ -62,7 +69,9 @@ TestbedScenario::TestbedScenario(TestbedConfig config)
   channel.spatial_index = config_.medium_spatial_index;
   channel.power_floor_dbm = config_.medium_power_floor_dbm;
   medium_ = std::make_unique<dot11p::Medium>(sched_, rng_.child("medium"), std::move(channel));
+  medium_->set_fault_injector(faults_.get());
   lan_ = std::make_unique<middleware::HttpLan>(sched_, rng_.child("lan"), config_.lan);
+  lan_->set_fault_injector(faults_.get());
   vehicle_bus_ = std::make_unique<middleware::MessageBus>(sched_, rng_.child("vbus"), config_.bus);
   edge_bus_ = std::make_unique<middleware::MessageBus>(sched_, rng_.child("ebus"), config_.bus);
 
@@ -90,6 +99,16 @@ TestbedScenario::TestbedScenario(TestbedConfig config)
     aeb_ = std::make_unique<vehicle::AebController>(sched_, *vehicle_bus_, config_.aeb, &trace_,
                                                     "aeb");
   }
+  if (config_.message_handler.watchdog) {
+    // Graceful degradation: while infrastructure contact is lost the AEB is
+    // the armed stop path (the planner independently caps its speed).
+    vehicle_bus_->subscribe_to<vehicle::WatchdogState>(
+        "watchdog", [this](const vehicle::WatchdogState& state) {
+          if (!aeb_) return;
+          if (state.degraded) aeb_->start();
+          else aeb_->stop();
+        });
+  }
   jetson_host_ = std::make_unique<middleware::HttpHost>(*lan_, "jetson");
   vehicle::MessageHandler::Config mh_config = config_.message_handler;
   mh_config.obu_hostname = config_.obu.name;
@@ -102,10 +121,12 @@ TestbedScenario::TestbedScenario(TestbedConfig config)
   cam_config.position = config_.camera_position;
   cam_config.facing_rad = config_.camera_facing_rad;
   camera_ = std::make_unique<roadside::RoadsideCamera>(sched_, cam_config);
+  camera_->set_fault_injector(faults_.get());
   camera_->set_walls(config_.walls);  // buildings block the optical LOS too
   camera_->add_object({next_object_id_++, [this] { return dynamics_->position(); },
                        config_.presentation, "car"});
   yolo_ = std::make_unique<roadside::YoloSimulator>(rng_.child("yolo"), config_.yolo);
+  yolo_->set_fault_injector(faults_.get());
   detection_ = std::make_unique<roadside::ObjectDetectionService>(
       sched_, *edge_bus_, *camera_, *yolo_, rng_.child("od"), config_.detection, &trace_,
       "object_detection");
@@ -119,6 +140,7 @@ TestbedScenario::TestbedScenario(TestbedConfig config)
   if (config_.use_gnss) {
     gnss_ = std::make_unique<vehicle::GnssReceiver>(sched_, *dynamics_, rng_.child("gnss"),
                                                     config_.gnss);
+    gnss_->set_fault_injector(faults_.get());
   }
   obu_ = std::make_unique<ItsStation>(
       sched_, *medium_, *lan_, frame_, config_.obu,
@@ -217,7 +239,9 @@ void TestbedScenario::start_services() {
   if (config_.warning_path == WarningPath::ItsG5) message_handler_->start();
   if (lidar_) {
     lidar_->start();
-    aeb_->start();
+    // Under the liveness watchdog the AEB is armed only while degraded
+    // (watchdog topic); otherwise it runs for the whole trial as before.
+    if (!config_.message_handler.watchdog) aeb_->start();
   }
   if (gnss_) gnss_->start();
   detection_->start();

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "rst/dot11p/radio.hpp"
+#include "rst/sim/fault_plan.hpp"
 
 namespace rst::dot11p {
 
@@ -227,6 +228,7 @@ void Medium::begin_transmission(Radio* tx, Frame frame, std::size_t psdu_bytes) 
   t->seq = tx->stats().tx_frames;  // already counts this frame
   t->start = sched_.now();
   t->end = sched_.now() + frame_airtime(psdu_bytes, tx->config().mcs);
+  tx_fault_db_ = faults_ ? faults_->radio_attenuation_db("medium") : 0.0;
 
   if (per_link_) {
     begin_transmission_per_link(t);
@@ -258,6 +260,7 @@ void Medium::begin_transmission_legacy(const std::shared_ptr<Transmission>& t) {
       const double gain = shadow_rng_.gamma(channel_.nakagami_m, 1.0 / channel_.nakagami_m);
       p += mw_to_dbm(std::max(gain, 1e-9));
     }
+    p -= tx_fault_db_;  // after the draws: the fault never shifts the stream
     const auto index = static_cast<std::uint32_t>(t->receivers.size());
     t->receivers.push_back(rx);
     t->rx_power_dbm.push_back(p);
@@ -309,7 +312,9 @@ void Medium::begin_transmission_per_link(const std::shared_ptr<Transmission>& t)
 void Medium::admit_receiver_per_link(const std::shared_ptr<Transmission>& t,
                                      std::uint32_t rx_slot) {
   refresh_slot(rx_slot);
-  const double mean = cached_budget_dbm(t->tx_slot, rx_slot);
+  // Fault attenuation folds into the deterministic budget (the per-link
+  // draws are counter-keyed, so floor-culling faulted links is safe).
+  const double mean = cached_budget_dbm(t->tx_slot, rx_slot) - tx_fault_db_;
   if (mean < channel_.power_floor_dbm) {
     ++stats_.dropped_below_sensitivity;
     ++stats_.culled_below_floor;

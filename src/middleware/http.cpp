@@ -1,5 +1,9 @@
 #include "rst/middleware/http.hpp"
 
+#include <algorithm>
+
+#include "rst/sim/fault_plan.hpp"
+
 namespace rst::middleware {
 
 HttpLan::HttpLan(sim::Scheduler& sched, sim::RandomStream rng, Config config)
@@ -9,17 +13,34 @@ void HttpLan::attach(HttpHost& host) { hosts_[host.hostname()] = &host; }
 
 void HttpLan::detach(const std::string& hostname) { hosts_.erase(hostname); }
 
+bool HttpLan::lose_request(const std::string& hostname) {
+  // A downed destination loses the request outright (no RNG draw: the host
+  // is gone, not flaky). Otherwise the loss probability is the worst of the
+  // legacy knob and any active HttpLoss clause, drawn from the LAN's own
+  // stream — a whole-run clause reproduces the knob draw-for-draw.
+  if (faults_ && faults_->active(sim::FaultKind::NodeDown, hostname)) return true;
+  double p = config_.loss_probability;
+  if (faults_) p = std::max(p, faults_->severity(sim::FaultKind::HttpLoss, "lan"));
+  return p > 0 && rng_.bernoulli(p);
+}
+
 void HttpLan::request(const std::string& hostname, HttpRequest req, ResponseCallback cb) {
   ++requests_;
-  if (config_.loss_probability > 0 && rng_.bernoulli(config_.loss_probability)) {
+  if (lose_request(hostname)) {
+    ++requests_lost_;
     sched_.post_in(config_.loss_timeout, [cb] { cb(HttpResponse{0, {}}); });
     return;
   }
   const auto leg = [this] {
     return config_.one_way_latency + rng_.uniform_time(sim::SimTime::zero(), config_.one_way_jitter);
   };
-  const auto processing = config_.server_processing +
-                          rng_.uniform_time(sim::SimTime::zero(), config_.server_processing_jitter);
+  auto processing = config_.server_processing +
+                    rng_.uniform_time(sim::SimTime::zero(), config_.server_processing_jitter);
+  if (faults_) {
+    // Stall windows hold the response on the server for `severity` ms.
+    processing = processing + sim::SimTime::from_milliseconds(
+                                  faults_->severity(sim::FaultKind::HttpStall, "lan"));
+  }
   const auto uplink = leg();
   const auto downlink = leg();
 

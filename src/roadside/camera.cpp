@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "rst/sim/fault_plan.hpp"
+
 namespace rst::roadside {
 
 RoadsideCamera::RoadsideCamera(sim::Scheduler& sched, Config config)
@@ -18,6 +20,23 @@ CameraFrame RoadsideCamera::capture() {
   CameraFrame frame;
   frame.capture_time = sched_.now();
   frame.frame_number = ++frame_counter_;
+  if (faults_) {
+    // Drop beats freeze when both windows overlap: a sensor that returns
+    // nothing is strictly worse than one that returns stale data.
+    if (faults_->active(sim::FaultKind::CameraDrop, "camera") &&
+        faults_->draw_bernoulli(sim::FaultKind::CameraDrop,
+                                faults_->severity(sim::FaultKind::CameraDrop, "camera"))) {
+      ++stats_.frames_dropped;
+      return frame;
+    }
+    if (faults_->active(sim::FaultKind::CameraFreeze, "camera")) {
+      // Replay the last live frame's content under a fresh frame number and
+      // timestamp (the sensor still paces; the image is stuck).
+      ++stats_.frames_frozen;
+      frame.objects = last_objects_;
+      return frame;
+    }
+  }
   for (const auto& obj : objects_) {
     const geo::Vec2 rel = obj.position() - config_.position;
     const double distance = rel.norm();
@@ -33,6 +52,7 @@ CameraFrame RoadsideCamera::capture() {
     if (occluded) continue;
     frame.objects.push_back({obj.id, distance, bearing, obj.presentation});
   }
+  if (faults_) last_objects_ = frame.objects;
   return frame;
 }
 

@@ -1,8 +1,24 @@
 #include "rst/roadside/hazard_service.hpp"
 
+#include <array>
+#include <string_view>
+
 #include "rst/middleware/kv.hpp"
 
 namespace rst::roadside {
+
+namespace {
+/// Labels the hazard logic recognises as road users worth advertising.
+constexpr std::array<std::string_view, 7> kKnownRoadUsers = {
+    "car", "truck", "bus", "motorbike", "bicycle", "person", "stop sign"};
+
+bool is_known_road_user(std::string_view label) {
+  for (const auto known : kKnownRoadUsers) {
+    if (label == known) return true;
+  }
+  return false;
+}
+}  // namespace
 
 HazardAdvertisementService::HazardAdvertisementService(
     sim::Scheduler& sched, middleware::MessageBus& bus, middleware::HttpHost& host,
@@ -119,6 +135,11 @@ void HazardAdvertisementService::on_detections(const DetectionBatch& batch) {
     else return;
   }
   for (const auto& det : batch.detections) {
+    if (det.detection.confidence < config_.min_confidence ||
+        (config_.require_known_road_user && !is_known_road_user(det.detection.label))) {
+      ++stats_.detections_gated;
+      continue;
+    }
     if (config_.trigger_mode == HazardTriggerMode::ActionPointDistance) {
       if (!crossing_detected(det)) continue;
       ++stats_.crossings_detected;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cinttypes>
 
+#include "rst/sim/fault_plan.hpp"
+
 namespace rst::sim {
 
 std::string_view stage_name(Stage stage) {
@@ -25,6 +27,9 @@ std::string_view stage_name(Stage stage) {
     case Stage::CamRx: return "CamRx";
     case Stage::ModemDenmRx: return "ModemDenmRx";
     case Stage::AebTrigger: return "AebTrigger";
+    case Stage::FaultWindow: return "FaultWindow";
+    case Stage::WatchdogDegraded: return "WatchdogDegraded";
+    case Stage::WatchdogRecovered: return "WatchdogRecovered";
   }
   return "Unknown";
 }
@@ -125,6 +130,22 @@ void render_event(const TraceEvent& ev, char (&component)[32], char (&message)[1
     case Stage::AebTrigger:
       std::snprintf(component, sizeof component, "aeb");
       std::snprintf(message, sizeof message, "AEB triggered: obstacle at %f m", ev.value);
+      break;
+    case Stage::FaultWindow:
+      std::snprintf(component, sizeof component, "fault_injector");
+      std::snprintf(message, sizeof message, "fault %.*s clause %" PRIu64 " %s severity=%g",
+                    static_cast<int>(fault_kind_name(static_cast<FaultKind>(ev.detail)).size()),
+                    fault_kind_name(static_cast<FaultKind>(ev.detail)).data(), ev.a,
+                    ev.phase == Phase::End ? "recovered" : "active", ev.value);
+      break;
+    case Stage::WatchdogDegraded:
+      std::snprintf(component, sizeof component, "msg_handler");
+      std::snprintf(message, sizeof message,
+                    "watchdog: infrastructure contact lost, failsafe engaged");
+      break;
+    case Stage::WatchdogRecovered:
+      std::snprintf(component, sizeof component, "msg_handler");
+      std::snprintf(message, sizeof message, "watchdog: infrastructure contact restored");
       break;
   }
 }

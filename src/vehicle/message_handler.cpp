@@ -20,6 +20,7 @@ MessageHandler::~MessageHandler() { poll_timer_.cancel(); }
 void MessageHandler::start() {
   if (running_) return;
   running_ = true;
+  last_contact_ = sched_.now();  // grace period: contact assumed at startup
   // First poll at a random phase, as the script start is uncorrelated with
   // the experiment.
   poll_timer_ = sched_.schedule_in(rng_.uniform_time(sim::SimTime::zero(), config_.poll_period),
@@ -34,6 +35,7 @@ void MessageHandler::stop() {
 void MessageHandler::poll() {
   if (!running_) return;
   const std::uint64_t poll_no = ++stats_.polls;
+  if (last_poll_failed_) ++stats_.retries;
   if (trace_) trace_->span_begin(sched_.now(), sim::Stage::DenmPoll, 0, poll_no);
   host_.post(config_.obu_hostname, "/request_denm", {},
              [this, poll_no](const middleware::HttpResponse& r) {
@@ -56,8 +58,38 @@ bool MessageHandler::is_emergency(const its::Denm& denm) {
   }
 }
 
+void MessageHandler::set_degraded(bool degraded) {
+  if (degraded_ == degraded) return;
+  degraded_ = degraded;
+  if (degraded) {
+    ++stats_.watchdog_degradations;
+    if (trace_) trace_->record_event(sched_.now(), sim::Stage::WatchdogDegraded);
+  } else {
+    ++stats_.watchdog_recoveries;
+    if (trace_) trace_->record_event(sched_.now(), sim::Stage::WatchdogRecovered);
+  }
+  bus_.publish("watchdog", WatchdogState{degraded});
+}
+
 void MessageHandler::on_response(const middleware::HttpResponse& resp) {
-  if (resp.status != 200 || resp.body.empty()) return;
+  if (resp.status != 200) {
+    // Lost request (status 0 after the LAN's loss timeout) or server error.
+    // The next scheduled poll is the retry; the watchdog degrades once the
+    // silence outlives its timeout. Every poll response always comes back
+    // (loss produces a timed-out status-0 reply), so liveness needs no
+    // timer of its own.
+    ++stats_.failed_polls;
+    last_poll_failed_ = true;
+    if (config_.watchdog && !degraded_ &&
+        sched_.now() - last_contact_ > config_.watchdog_timeout) {
+      set_degraded(true);
+    }
+    return;
+  }
+  last_poll_failed_ = false;
+  last_contact_ = sched_.now();
+  if (config_.watchdog && degraded_) set_degraded(false);
+  if (resp.body.empty()) return;
   const middleware::KvBody kv = middleware::KvBody::parse(resp.body);
   // The API drains its whole inbox per poll as denm0..denmN; older builds
   // answered with a single "denm" key — accept either form.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "rst/vehicle/message_handler.hpp"
+
 namespace rst::vehicle {
 
 MotionPlanner::MotionPlanner(sim::Scheduler& sched, middleware::MessageBus& bus, Config config,
@@ -21,6 +23,8 @@ MotionPlanner::MotionPlanner(sim::Scheduler& sched, middleware::MessageBus& bus,
   // Local (non-V2X) emergencies, e.g. the on-board AEB.
   bus_.subscribe_to<std::string>("emergency_stop",
                                  [this](const std::string& reason) { emergency_stop(reason); });
+  bus_.subscribe_to<WatchdogState>(
+      "watchdog", [this](const WatchdogState& state) { degraded_ = state.degraded; });
 }
 
 void MotionPlanner::reset() {
@@ -51,7 +55,9 @@ void MotionPlanner::on_line(const LineDetection& det) {
   } else {
     cmd.steering_rad = 0.0;  // hold course until the line reappears
   }
-  const double speed_error = config_.target_speed_mps - current_speed_;
+  const double target = degraded_ ? std::min(config_.target_speed_mps, config_.failsafe_speed_mps)
+                                  : config_.target_speed_mps;
+  const double speed_error = target - current_speed_;
   cmd.throttle01 = std::clamp(config_.cruise_throttle + config_.speed_kp * speed_error, 0.0, 1.0);
   ++commands_;
   bus_.publish("drive_cmd", cmd);
