@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -16,5 +17,24 @@ std::size_t apply_config_overrides(TestbedConfig& config, const std::string& tex
 
 /// The keys apply_config_overrides understands, with one-line help.
 [[nodiscard]] std::vector<std::pair<std::string, std::string>> config_override_keys();
+
+// --- Shared `key = value` spec-format plumbing ---
+//
+// The testbed config file and the scenario::CitySpec file share one syntax
+// (one `key = value` per line, `#` comments, whitespace-insensitive); these
+// helpers keep the two parsers byte-for-byte consistent on errors and edge
+// cases.
+
+/// Splits `text` into stripped (key, value) pairs and invokes `apply` for
+/// each. Throws std::invalid_argument on a line without '='. Returns the
+/// number of pairs applied.
+std::size_t for_each_spec_override(
+    const std::string& text,
+    const std::function<void(const std::string& key, const std::string& value)>& apply);
+
+/// Scalar parsers with uniform "config override '<key>': ..." diagnostics.
+[[nodiscard]] double parse_spec_double(const std::string& value, const std::string& key);
+[[nodiscard]] std::int64_t parse_spec_int(const std::string& value, const std::string& key);
+[[nodiscard]] bool parse_spec_bool(const std::string& value, const std::string& key);
 
 }  // namespace rst::core

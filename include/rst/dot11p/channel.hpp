@@ -84,6 +84,13 @@ struct Wall {
 };
 
 /// Decorates a base model with obstacle (NLOS) losses from wall segments.
+///
+/// City-scale obstacle maps (the scenario generator emits four walls per
+/// building) make this the inner loop of every link-budget evaluation, so
+/// each wall's axis-aligned bounding box is precomputed and checked before
+/// the exact segment-intersection test: a LOS ray whose box does not touch
+/// a wall's box cannot cross it. Same results, ~one compare-pair per
+/// distant wall instead of four orientation products.
 class ObstacleShadowingModel final : public PathLossModel {
  public:
   ObstacleShadowingModel(std::unique_ptr<PathLossModel> base, std::vector<Wall> walls);
@@ -94,9 +101,19 @@ class ObstacleShadowingModel final : public PathLossModel {
   /// True when the segment tx-rx crosses at least one wall.
   [[nodiscard]] bool is_nlos(geo::Vec2 tx, geo::Vec2 rx) const;
 
+  /// Walls crossed by the segment tx-rx (the NLOS "depth" of a link).
+  [[nodiscard]] std::size_t walls_crossed(geo::Vec2 tx, geo::Vec2 rx) const;
+
+  [[nodiscard]] const std::vector<Wall>& walls() const { return walls_; }
+
  private:
+  struct WallBox {
+    double min_x, min_y, max_x, max_y;
+  };
+
   std::unique_ptr<PathLossModel> base_;
   std::vector<Wall> walls_;
+  std::vector<WallBox> boxes_;  // parallel to walls_
 };
 
 /// True when segments ab and cd properly intersect (shared endpoints count).

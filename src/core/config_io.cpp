@@ -9,11 +9,7 @@
 
 namespace rst::core {
 
-namespace {
-
-using Setter = std::function<void(TestbedConfig&, const std::string&)>;
-
-double parse_double(const std::string& value, const std::string& key) {
+double parse_spec_double(const std::string& value, const std::string& key) {
   std::size_t consumed = 0;
   const double v = std::stod(value, &consumed);
   if (consumed != value.size()) {
@@ -22,7 +18,7 @@ double parse_double(const std::string& value, const std::string& key) {
   return v;
 }
 
-std::int64_t parse_int(const std::string& value, const std::string& key) {
+std::int64_t parse_spec_int(const std::string& value, const std::string& key) {
   std::size_t consumed = 0;
   const long long v = std::stoll(value, &consumed, 10);
   if (consumed != value.size()) {
@@ -31,10 +27,26 @@ std::int64_t parse_int(const std::string& value, const std::string& key) {
   return v;
 }
 
-bool parse_bool(const std::string& value, const std::string& key) {
+bool parse_spec_bool(const std::string& value, const std::string& key) {
   if (value == "true" || value == "1" || value == "on") return true;
   if (value == "false" || value == "0" || value == "off") return false;
   throw std::invalid_argument{"config override '" + key + "': bad boolean '" + value + "'"};
+}
+
+namespace {
+
+using Setter = std::function<void(TestbedConfig&, const std::string&)>;
+
+double parse_double(const std::string& value, const std::string& key) {
+  return parse_spec_double(value, key);
+}
+
+std::int64_t parse_int(const std::string& value, const std::string& key) {
+  return parse_spec_int(value, key);
+}
+
+bool parse_bool(const std::string& value, const std::string& key) {
+  return parse_spec_bool(value, key);
 }
 
 struct Entry {
@@ -172,7 +184,9 @@ const std::map<std::string, Entry>& registry() {
 
 }  // namespace
 
-std::size_t apply_config_overrides(TestbedConfig& config, const std::string& text) {
+std::size_t for_each_spec_override(
+    const std::string& text,
+    const std::function<void(const std::string& key, const std::string& value)>& apply) {
   std::istringstream stream{text};
   std::string line;
   std::size_t applied = 0;
@@ -191,16 +205,20 @@ std::size_t apply_config_overrides(TestbedConfig& config, const std::string& tex
     if (eq == std::string::npos) {
       throw std::invalid_argument{"config override: missing '=' in line '" + line + "'"};
     }
-    const std::string key = strip(line.substr(0, eq));
-    const std::string value = strip(line.substr(eq + 1));
+    apply(strip(line.substr(0, eq)), strip(line.substr(eq + 1)));
+    ++applied;
+  }
+  return applied;
+}
+
+std::size_t apply_config_overrides(TestbedConfig& config, const std::string& text) {
+  return for_each_spec_override(text, [&](const std::string& key, const std::string& value) {
     const auto it = registry().find(key);
     if (it == registry().end()) {
       throw std::invalid_argument{"config override: unknown key '" + key + "'"};
     }
     it->second.set(config, value);
-    ++applied;
-  }
-  return applied;
+  });
 }
 
 std::vector<std::pair<std::string, std::string>> config_override_keys() {

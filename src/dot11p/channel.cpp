@@ -79,11 +79,50 @@ bool segments_intersect(geo::Vec2 a, geo::Vec2 b, geo::Vec2 c, geo::Vec2 d) {
 }
 
 ObstacleShadowingModel::ObstacleShadowingModel(std::unique_ptr<PathLossModel> base, std::vector<Wall> walls)
-    : base_{std::move(base)}, walls_{std::move(walls)} {}
+    : base_{std::move(base)}, walls_{std::move(walls)} {
+  boxes_.reserve(walls_.size());
+  for (const auto& w : walls_) {
+    boxes_.push_back({std::min(w.a.x, w.b.x), std::min(w.a.y, w.b.y),
+                      std::max(w.a.x, w.b.x), std::max(w.a.y, w.b.y)});
+  }
+}
+
+namespace {
+struct RayBox {
+  double min_x, min_y, max_x, max_y;
+  RayBox(geo::Vec2 a, geo::Vec2 b)
+      : min_x{std::min(a.x, b.x)},
+        min_y{std::min(a.y, b.y)},
+        max_x{std::max(a.x, b.x)},
+        max_y{std::max(a.y, b.y)} {}
+};
+}  // namespace
 
 bool ObstacleShadowingModel::is_nlos(geo::Vec2 tx, geo::Vec2 rx) const {
-  return std::any_of(walls_.begin(), walls_.end(),
-                     [&](const Wall& w) { return segments_intersect(tx, rx, w.a, w.b); });
+  const RayBox ray{tx, rx};
+  for (std::size_t i = 0; i < walls_.size(); ++i) {
+    const auto& box = boxes_[i];
+    if (box.max_x < ray.min_x || box.min_x > ray.max_x || box.max_y < ray.min_y ||
+        box.min_y > ray.max_y) {
+      continue;
+    }
+    if (segments_intersect(tx, rx, walls_[i].a, walls_[i].b)) return true;
+  }
+  return false;
+}
+
+std::size_t ObstacleShadowingModel::walls_crossed(geo::Vec2 tx, geo::Vec2 rx) const {
+  const RayBox ray{tx, rx};
+  std::size_t crossed = 0;
+  for (std::size_t i = 0; i < walls_.size(); ++i) {
+    const auto& box = boxes_[i];
+    if (box.max_x < ray.min_x || box.min_x > ray.max_x || box.max_y < ray.min_y ||
+        box.min_y > ray.max_y) {
+      continue;
+    }
+    if (segments_intersect(tx, rx, walls_[i].a, walls_[i].b)) ++crossed;
+  }
+  return crossed;
 }
 
 double ObstacleShadowingModel::min_loss_db(double distance_m) const {
@@ -92,8 +131,14 @@ double ObstacleShadowingModel::min_loss_db(double distance_m) const {
 
 double ObstacleShadowingModel::loss_db(geo::Vec2 tx, geo::Vec2 rx) const {
   double loss = base_->loss_db(tx, rx);
-  for (const auto& w : walls_) {
-    if (segments_intersect(tx, rx, w.a, w.b)) loss += w.obstruction_loss_db;
+  const RayBox ray{tx, rx};
+  for (std::size_t i = 0; i < walls_.size(); ++i) {
+    const auto& box = boxes_[i];
+    if (box.max_x < ray.min_x || box.min_x > ray.max_x || box.max_y < ray.min_y ||
+        box.min_y > ray.max_y) {
+      continue;
+    }
+    if (segments_intersect(tx, rx, walls_[i].a, walls_[i].b)) loss += walls_[i].obstruction_loss_db;
   }
   return loss;
 }

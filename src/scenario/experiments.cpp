@@ -1,0 +1,335 @@
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <map>
+
+#include "rst/its/dcc/channel_probe.hpp"
+#include "rst/its/messages/cause_code.hpp"
+#include "rst/scenario/city.hpp"
+#include "rst/sim/trial_pool.hpp"
+
+namespace rst::scenario {
+
+// --- Fingerprints -----------------------------------------------------------
+//
+// FNV-1a over the exact field bytes. Experiments assert these are stable
+// across reruns and thread counts, so every contributing value must itself
+// be deterministic (integer counters, SimTime nanoseconds, IEEE doubles
+// produced by the same arithmetic).
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_mix(std::uint64_t& h, double v) { fnv_mix(h, std::bit_cast<std::uint64_t>(v)); }
+
+void fnv_mix(std::uint64_t& h, sim::SimTime t) {
+  fnv_mix(h, static_cast<std::uint64_t>(t.count_ns()));
+}
+
+}  // namespace
+
+std::uint64_t CoverageMap::fingerprint() const {
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(h, static_cast<std::uint64_t>(rsu_index));
+  fnv_mix(h, static_cast<std::uint64_t>(samples.size()));
+  for (const auto& s : samples) {
+    fnv_mix(h, s.pos.x);
+    fnv_mix(h, s.pos.y);
+    fnv_mix(h, s.rssi_dbm);
+    fnv_mix(h, static_cast<std::uint64_t>(s.walls_crossed));
+  }
+  fnv_mix(h, covered_fraction);
+  return h;
+}
+
+std::uint64_t HandoverReport::fingerprint() const {
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(h, static_cast<std::uint64_t>(receptions.size()));
+  for (const auto& r : receptions) {
+    fnv_mix(h, r.t);
+    fnv_mix(h, static_cast<std::uint64_t>(r.rsu));
+    fnv_mix(h, r.rssi_dbm);
+  }
+  for (const auto id : serving_sequence) fnv_mix(h, static_cast<std::uint64_t>(id));
+  fnv_mix(h, max_service_gap);
+  fnv_mix(h, max_serving_gap);
+  return h;
+}
+
+std::uint64_t cbr_sweep_fingerprint(const std::vector<CbrPoint>& curve) {
+  std::uint64_t h = kFnvOffset;
+  for (const auto& p : curve) {
+    fnv_mix(h, static_cast<std::uint64_t>(p.vehicles));
+    fnv_mix(h, p.cbr);
+    fnv_mix(h, p.frames_on_air);
+    fnv_mix(h, p.deliveries);
+  }
+  return h;
+}
+
+std::uint64_t DeliveryReport::fingerprint() const {
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(h, static_cast<std::uint64_t>(near_targets));
+  fnv_mix(h, static_cast<std::uint64_t>(near_delivered));
+  fnv_mix(h, static_cast<std::uint64_t>(far_targets));
+  fnv_mix(h, static_cast<std::uint64_t>(far_delivered));
+  fnv_mix(h, first_near_delivery);
+  fnv_mix(h, first_far_delivery);
+  fnv_mix(h, gn_forwarded);
+  fnv_mix(h, kaf_retransmissions);
+  fnv_mix(h, best_direct_far_budget_dbm);
+  return h;
+}
+
+// --- Experiment 1: coverage / RSSI map --------------------------------------
+
+CoverageMap measure_coverage(CityScenario& city, std::size_t rsu_index, double step_m) {
+  const CitySpec& spec = city.spec();
+  CoverageMap map;
+  map.rsu_index = rsu_index;
+  map.rsu_pos = city.rsu_position(rsu_index);
+
+  // A probe radio moved across the raster. No traffic runs during the
+  // measurement, so attaching (and detaching, in ~Radio) a radio is
+  // invisible to any simulation the caller runs afterwards except for one
+  // extra MAC address allocation.
+  geo::Vec2 probe_pos{};
+  dot11p::RadioConfig probe_cfg;
+  probe_cfg.tx_power_dbm = spec.tx_power_dbm;
+  dot11p::Radio probe{city.medium(), probe_cfg, [&probe_pos] { return probe_pos; },
+                      sim::RandomStream{spec.seed, "city.coverage.probe"}, "coverage-probe"};
+
+  const auto sample = [&](geo::Vec2 p) {
+    probe_pos = p;
+    CoverageSample s;
+    s.pos = p;
+    s.distance_m = geo::distance(map.rsu_pos, p);
+    s.rssi_dbm = city.medium().mean_rx_power_dbm(city.rsu(rsu_index).radio(), probe);
+    if (const auto* obstacles = city.obstacles()) {
+      s.walls_crossed = obstacles->walls_crossed(map.rsu_pos, p);
+    }
+    map.samples.push_back(s);
+  };
+
+  // Street centerlines: every east-west row, then every north-south column.
+  const auto& net = city.network();
+  const int rows = spec.blocks_y + 1;
+  const int cols = spec.blocks_x + 1;
+  for (int iy = 0; iy < rows; ++iy) {
+    const double y = iy * spec.block_m;
+    for (double x = 0.0; x <= net.extent_x + 1e-9; x += step_m) sample({x, y});
+  }
+  for (int ix = 0; ix < cols; ++ix) {
+    const double x = ix * spec.block_m;
+    for (double y = 0.0; y <= net.extent_y + 1e-9; y += step_m) sample({x, y});
+  }
+
+  std::size_t covered = 0;
+  for (const auto& s : map.samples) {
+    if (s.rssi_dbm >= map.sensitivity_dbm) ++covered;
+  }
+  map.covered_fraction =
+      map.samples.empty() ? 0.0 : static_cast<double>(covered) / map.samples.size();
+  return map;
+}
+
+// --- Experiment 2: RSU <-> OBU handover -------------------------------------
+
+HandoverReport run_handover_experiment(const CitySpec& spec, sim::SimTime duration,
+                                       double hysteresis_db) {
+  CityScenario city{spec};
+
+  // One probe OBU driving the arterial corridor end to end (and back, if
+  // the duration outlasts one pass — the flow is a closed loop).
+  VehicleFlow drive;
+  drive.waypoints = {{0.0, city.network().corridor_y},
+                     {city.network().extent_x, city.network().corridor_y}};
+  drive.speed_mps = spec.vehicle_speed_mps;
+  const std::size_t probe = city.add_vehicle(drive);
+
+  HandoverReport report;
+  city.vehicle(probe).ca().set_cam_callback(
+      [&report, &city](const its::Cam& cam, const its::GnDeliveryMeta& meta) {
+        if (cam.header.station_id < CityScenario::kRsuIdBase) return;
+        report.receptions.push_back({city.scheduler().now(), cam.header.station_id, meta.rssi_dbm});
+      });
+
+  city.start();
+  city.scheduler().run_until(duration);
+
+  // Serving-RSU selection with hysteresis: switch only when another RSU's
+  // beacon is `hysteresis_db` stronger than the last beacon heard from the
+  // serving RSU.
+  its::StationId serving = 0;
+  double serving_rssi = 0.0;
+  sim::SimTime last_any{};
+  sim::SimTime last_serving{};
+  for (const auto& r : report.receptions) {
+    if (!report.serving_sequence.empty()) {
+      report.max_service_gap = std::max(report.max_service_gap, r.t - last_any);
+    }
+    last_any = r.t;
+    if (report.serving_sequence.empty()) {
+      serving = r.rsu;
+      serving_rssi = r.rssi_dbm;
+      last_serving = r.t;
+      report.serving_sequence.push_back(serving);
+      continue;
+    }
+    if (r.rsu == serving) {
+      serving_rssi = r.rssi_dbm;
+      report.max_serving_gap = std::max(report.max_serving_gap, r.t - last_serving);
+      last_serving = r.t;
+    } else if (r.rssi_dbm > serving_rssi + hysteresis_db) {
+      serving = r.rsu;
+      serving_rssi = r.rssi_dbm;
+      last_serving = r.t;
+      report.serving_sequence.push_back(serving);
+    }
+  }
+  if (!report.receptions.empty()) {
+    report.max_service_gap = std::max(report.max_service_gap, duration - last_any);
+  }
+  return report;
+}
+
+// --- Experiment 3: CBR vs density -------------------------------------------
+
+namespace {
+
+CbrPoint run_cbr_cell(const CitySpec& base, int vehicles, sim::SimTime duration) {
+  CitySpec spec = base;
+  spec.vehicles = vehicles;
+  CityScenario city{spec};
+
+  // External probe on the monitor RSU's radio: the station's own DCC probe
+  // only exists when DCC is enabled, and the experiment must measure the
+  // no-DCC baseline identically.
+  its::dcc::ChannelProbe probe{city.scheduler(), city.rsu(0).radio()};
+  probe.start();
+
+  city.start();
+  city.scheduler().run_until(duration);
+
+  CbrPoint point;
+  point.vehicles = vehicles;
+  point.cbr = probe.cbr();
+  point.frames_on_air = city.medium().stats().frames_transmitted;
+  point.deliveries = city.medium().stats().deliveries;
+  return point;
+}
+
+}  // namespace
+
+std::vector<CbrPoint> run_cbr_sweep(const CitySpec& base, const std::vector<int>& densities,
+                                    sim::SimTime duration, unsigned threads) {
+  sim::TrialPool pool{threads == 0 ? 1 : threads};
+  return pool.map(densities.size(),
+                  [&](std::size_t i) { return run_cbr_cell(base, densities[i], duration); });
+}
+
+// --- Experiment 4: multi-hop GBC delivery across a coverage gap -------------
+
+DeliveryReport run_delivery_experiment(const CitySpec& spec, sim::SimTime duration) {
+  // The experiment owns the topology: one RSU at the corridor's west end,
+  // a parked relay chain under (or one GBC hop beyond) its coverage, a
+  // parked cluster across the gap, and one mover crossing it carrying the
+  // DENM via keep-alive forwarding.
+  CitySpec s = spec;
+  s.vehicles = 0;           // all vehicles are placed below
+  s.max_rsus = 1;           // single source of the warning
+  s.rsu_corridor_only = true;
+  s.enable_kaf = true;      // the store-carry-forward substrate
+  s.validate();
+
+  CityScenario city{s};
+  const double L = city.network().extent_x;
+  const double y = city.network().corridor_y;
+
+  const auto park = [&](double x) {
+    VehicleFlow f;
+    f.waypoints = {{x, y}};
+    return city.add_vehicle(f);
+  };
+
+  // Relay chain: first hop inside direct coverage, second reachable only by
+  // GBC forwarding. Far cluster: beyond any single-hop budget from the RSU.
+  const std::vector<std::size_t> near_idx = {park(0.15 * L), park(0.30 * L)};
+  const std::vector<std::size_t> far_idx = {park(0.85 * L), park(0.92 * L), park(1.00 * L)};
+
+  VehicleFlow crossing;
+  crossing.waypoints = {{0.0, y}, {L, y}};
+  crossing.speed_mps = s.vehicle_speed_mps;
+  const std::size_t mover = city.add_vehicle(crossing);
+  (void)mover;
+
+  DeliveryReport report;
+  report.near_targets = static_cast<int>(near_idx.size());
+  report.far_targets = static_cast<int>(far_idx.size());
+
+  report.best_direct_far_budget_dbm = -1e9;
+  for (const auto i : far_idx) {
+    report.best_direct_far_budget_dbm =
+        std::max(report.best_direct_far_budget_dbm,
+                 city.medium().mean_rx_power_dbm(city.rsu(0).radio(), city.vehicle(i).radio()));
+  }
+
+  std::map<std::size_t, sim::SimTime> first_delivery;
+  for (std::size_t i = 0; i < city.vehicle_count(); ++i) {
+    city.vehicle(i).den().set_denm_callback(
+        [&first_delivery, &city, i](const its::Denm&, const its::GnDeliveryMeta&, bool) {
+          first_delivery.emplace(i, city.scheduler().now());
+        });
+  }
+
+  city.start();
+
+  // Trigger at the RSU once CAM beaconing has populated location tables:
+  // a GBC DENM scoped to the whole corridor, repeated by the originator for
+  // a few seconds, then kept alive only by stations inside the area.
+  city.scheduler().post_at(sim::SimTime::milliseconds(500), [&city, L, y] {
+    its::DenmRequest req;
+    req.event_type = its::EventType::of(its::Cause::Accident);
+    req.event_position = city.rsu_position(0);
+    req.validity = sim::SimTime::seconds(600);
+    req.repetition_interval = sim::SimTime::milliseconds(500);
+    req.repetition_duration = sim::SimTime::seconds(5);
+    req.destination_area =
+        geo::GeoArea::rectangle({L / 2.0, y}, L / 2.0 + 50.0, 60.0, M_PI / 2.0);
+    city.rsu(0).den().trigger(req);
+  });
+
+  city.scheduler().run_until(duration);
+
+  const auto collect = [&](const std::vector<std::size_t>& idx, int& delivered,
+                           sim::SimTime& first) {
+    first = sim::SimTime::zero();
+    for (const auto i : idx) {
+      const auto it = first_delivery.find(i);
+      if (it == first_delivery.end()) continue;
+      ++delivered;
+      if (first == sim::SimTime::zero() || it->second < first) first = it->second;
+    }
+  };
+  collect(near_idx, report.near_delivered, report.first_near_delivery);
+  collect(far_idx, report.far_delivered, report.first_far_delivery);
+
+  report.gn_forwarded = city.rsu(0).router().stats().forwarded;
+  for (std::size_t i = 0; i < city.vehicle_count(); ++i) {
+    report.gn_forwarded += city.vehicle(i).router().stats().forwarded;
+    report.kaf_retransmissions += city.vehicle(i).den().stats().kaf_retransmissions;
+  }
+  return report;
+}
+
+}  // namespace rst::scenario

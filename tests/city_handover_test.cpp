@@ -1,0 +1,91 @@
+// City-scale experiment 2: RSU <-> OBU handover along the arterial
+// corridor. A probe OBU drives past a line of beaconing RSUs; the serving
+// RSU (hysteresis rule over CAM RSSI) must progress west to east, hand
+// over at least twice, and never leave the OBU without service for longer
+// than a few beacon periods.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rst/scenario/city.hpp"
+
+namespace rst {
+namespace {
+
+using scenario::CitySpec;
+using sim::SimTime;
+
+CitySpec corridor_city() {
+  CitySpec spec;
+  spec.seed = 11;
+  spec.blocks_x = 4;
+  spec.blocks_y = 2;
+  spec.block_m = 120.0;
+  spec.vehicles = 0;  // the experiment adds the probe OBU itself
+  spec.rsu_corridor_only = true;
+  spec.rsu_every = 2;  // corridor RSUs at x = 0, 240, 480
+  spec.vehicle_speed_mps = 12.0;
+  return spec;
+}
+
+// One corridor pass: 480 m at 12 m/s.
+constexpr auto kDriveTime = SimTime::seconds(40);
+
+TEST(CityHandover, ServingRsuProgressesAlongTheCorridor) {
+  const auto report = scenario::run_handover_experiment(corridor_city(), kDriveTime);
+
+  ASSERT_FALSE(report.receptions.empty());
+  ASSERT_GE(report.handovers(), 2) << "the drive must cross at least two cell boundaries";
+
+  // The serving sequence must be corridor RSUs in strictly increasing
+  // station-id order — placement is west to east, so any regression would
+  // mean the hysteresis rule flapped backwards.
+  for (std::size_t i = 0; i < report.serving_sequence.size(); ++i) {
+    EXPECT_GE(report.serving_sequence[i], scenario::CityScenario::kRsuIdBase);
+    if (i > 0) {
+      EXPECT_GT(report.serving_sequence[i], report.serving_sequence[i - 1])
+          << "serving RSU moved backwards at step " << i;
+    }
+  }
+  EXPECT_EQ(report.serving_sequence.front(), scenario::CityScenario::kRsuIdBase);
+}
+
+TEST(CityHandover, ServiceGapStaysBounded) {
+  const auto report = scenario::run_handover_experiment(corridor_city(), kDriveTime);
+
+  // RSUs beacon every 100 ms and coverage overlaps, so even across a
+  // handover the OBU must hear *some* RSU within a handful of periods.
+  EXPECT_GT(report.max_service_gap, SimTime::zero());
+  EXPECT_LE(report.max_service_gap, SimTime::milliseconds(500))
+      << "service gap " << report.max_service_gap.to_string();
+  // The serving RSU itself may fade towards the cell edge, but never for
+  // longer than a second before the hysteresis rule must have switched.
+  EXPECT_LE(report.max_serving_gap, SimTime::seconds(1))
+      << "serving gap " << report.max_serving_gap.to_string();
+}
+
+TEST(CityHandover, EveryCorridorRsuIsHeard) {
+  const auto report = scenario::run_handover_experiment(corridor_city(), kDriveTime);
+  std::vector<its::StationId> heard;
+  for (const auto& r : report.receptions) {
+    if (std::find(heard.begin(), heard.end(), r.rsu) == heard.end()) heard.push_back(r.rsu);
+  }
+  EXPECT_EQ(heard.size(), 3u) << "the drive should pass through all three corridor cells";
+}
+
+TEST(CityHandover, ReportIsBitStableAcrossReruns) {
+  const auto a = scenario::run_handover_experiment(corridor_city(), kDriveTime);
+  const auto b = scenario::run_handover_experiment(corridor_city(), kDriveTime);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.receptions.size(), b.receptions.size());
+  EXPECT_EQ(a.serving_sequence, b.serving_sequence);
+
+  CitySpec reseeded = corridor_city();
+  reseeded.seed = 12;
+  const auto c = scenario::run_handover_experiment(reseeded, kDriveTime);
+  EXPECT_NE(a.fingerprint(), c.fingerprint()) << "the seed must reach the stochastic stack";
+}
+
+}  // namespace
+}  // namespace rst

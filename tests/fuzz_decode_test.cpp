@@ -103,6 +103,138 @@ TEST_P(FuzzSeeds, KvBodyParserEatsGarbage) {
   }
 }
 
+// --- Chained-stack corpus ---------------------------------------------------
+//
+// A lossy radio corrupts whole GN PDUs, so robustness must hold through the
+// chain a real reception takes: GnPacket::decode -> BtpHeader::parse ->
+// Cam/Denm::decode. The corpus is valid CAM-over-BTP-over-GN and
+// DENM-over-BTP-over-GN encodings mutated by bit flips and truncation; any
+// accepted (fully decodable) mutant must also round-trip stably through its
+// own re-encoding.
+
+its::Cam corpus_cam() {
+  its::Cam cam;
+  cam.header.station_id = 7;
+  cam.generation_delta_time = 1234;
+  cam.basic.station_type = its::StationType::PassengerCar;
+  cam.high_frequency.heading.value_01deg = 900;
+  cam.high_frequency.speed.value_cms = 500;
+  return cam;
+}
+
+its::Denm corpus_denm() {
+  its::Denm denm;
+  denm.header.station_id = 900;
+  denm.management.action_id = {900, 1};
+  denm.management.detection_time = its::kSimEpochItsMs;
+  denm.management.reference_time = its::kSimEpochItsMs;
+  denm.situation = its::SituationContainer{
+      .information_quality = 5, .event_type = its::EventType::of(its::Cause::CollisionRisk, 2),
+      .linked_cause = {}};
+  return denm;
+}
+
+std::vector<std::uint8_t> wrap_in_gn(std::vector<std::uint8_t> facilities_pdu,
+                                     std::uint16_t port) {
+  its::GnPacket pkt;
+  pkt.type = its::GnPacketType::Gbc;
+  pkt.sequence_number = 9;
+  pkt.source.address = its::GnAddress::from_station(7);
+  pkt.forwarder = pkt.source;
+  pkt.destination_area = its::WireGeoArea{411780000, -86080000, 300, 300, 0, 0};
+  pkt.payload = its::BtpHeader{port, 0}.prepend_to(facilities_pdu);
+  return pkt.encode();
+}
+
+/// Runs the receive chain on `bytes`. Returns the re-encoded bytes when the
+/// whole chain accepted the input, an empty vector when any stage rejected
+/// it with DecodeError. Anything else (crash, UB, unexpected exception)
+/// fails the test from inside.
+std::vector<std::uint8_t> chain_decode_reencode(const std::vector<std::uint8_t>& bytes) {
+  its::GnPacket pkt;
+  try {
+    pkt = its::GnPacket::decode(bytes);
+  } catch (const asn1::DecodeError&) {
+    return {};
+  }
+  if (pkt.payload.size() < its::BtpHeader::kSize) return {};
+  its::BtpHeader::Parsed btp;
+  try {
+    btp = its::BtpHeader::parse(pkt.payload);
+  } catch (const asn1::DecodeError&) {
+    return {};
+  }
+  try {
+    if (btp.header.destination_port == its::kBtpPortCam) {
+      const auto cam = its::Cam::decode(btp.payload);
+      pkt.payload = its::BtpHeader{its::kBtpPortCam, 0}.prepend_to(cam.encode());
+    } else if (btp.header.destination_port == its::kBtpPortDenm) {
+      const auto denm = its::Denm::decode(btp.payload);
+      pkt.payload = its::BtpHeader{its::kBtpPortDenm, 0}.prepend_to(denm.encode());
+    }
+  } catch (const asn1::DecodeError&) {
+    return {};
+  }
+  return pkt.encode();
+}
+
+TEST_P(FuzzSeeds, ChainedStackSurvivesBitflipCorpus) {
+  sim::RandomStream r{GetParam(), "chain-flip"};
+  const std::vector<std::vector<std::uint8_t>> corpus = {
+      wrap_in_gn(corpus_cam().encode(), its::kBtpPortCam),
+      wrap_in_gn(corpus_denm().encode(), its::kBtpPortDenm),
+  };
+  for (const auto& clean : corpus) {
+    // The unmutated encoding must be accepted and must round-trip to a
+    // fixed point: decode(encode(decode(x))) == decode(encode(x)).
+    const auto once = chain_decode_reencode(clean);
+    ASSERT_FALSE(once.empty());
+    EXPECT_EQ(chain_decode_reencode(once), once);
+
+    for (int i = 0; i < 300; ++i) {
+      auto corrupt = clean;
+      const auto flips = r.uniform_int(1, 12);
+      for (long f = 0; f < flips; ++f) {
+        const auto byte =
+            static_cast<std::size_t>(r.uniform_int(0, static_cast<long>(corrupt.size() - 1)));
+        corrupt[byte] ^= static_cast<std::uint8_t>(1u << r.uniform_int(0, 7));
+      }
+      const auto reencoded = chain_decode_reencode(corrupt);
+      if (reencoded.empty()) continue;  // cleanly rejected somewhere in the chain
+      // Accepted mutants must have reached a stable representation: the
+      // re-encoding decodes to exactly the same bytes again.
+      EXPECT_EQ(chain_decode_reencode(reencoded), reencoded);
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, ChainedStackSurvivesTruncationCorpus) {
+  sim::RandomStream r{GetParam(), "chain-trunc"};
+  const std::vector<std::vector<std::uint8_t>> corpus = {
+      wrap_in_gn(corpus_cam().encode(), its::kBtpPortCam),
+      wrap_in_gn(corpus_denm().encode(), its::kBtpPortDenm),
+  };
+  for (const auto& clean : corpus) {
+    // Every prefix length once: deterministic sweep, then a random batch of
+    // truncate-then-flip combinations.
+    for (std::size_t len = 0; len < clean.size(); ++len) {
+      auto cut = clean;
+      cut.resize(len);
+      const auto reencoded = chain_decode_reencode(cut);
+      if (!reencoded.empty()) EXPECT_EQ(chain_decode_reencode(reencoded), reencoded);
+    }
+    for (int i = 0; i < 100; ++i) {
+      auto cut = clean;
+      cut.resize(static_cast<std::size_t>(r.uniform_int(1, static_cast<long>(clean.size()))));
+      const auto byte =
+          static_cast<std::size_t>(r.uniform_int(0, static_cast<long>(cut.size() - 1)));
+      cut[byte] ^= static_cast<std::uint8_t>(1u << r.uniform_int(0, 7));
+      const auto reencoded = chain_decode_reencode(cut);
+      if (!reencoded.empty()) EXPECT_EQ(chain_decode_reencode(reencoded), reencoded);
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range<std::uint64_t>(1, 9));
 
 }  // namespace

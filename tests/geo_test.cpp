@@ -132,5 +132,96 @@ TEST(GeoArea, InvalidSemiDistanceThrows) {
   EXPECT_THROW((void)bad.contains({1, 1}), std::logic_error);
 }
 
+// --- Geodesy edge cases ------------------------------------------------------
+
+TEST(Geodesy, AntimeridianCrossingDistanceIsShort) {
+  // Two points 0.2 degrees of longitude apart straddling the +-180 line:
+  // the great-circle distance must be the ~22 km short way across the
+  // antimeridian, not the ~40000 km long way around.
+  const GeoPosition west{0.0, 179.9};
+  const GeoPosition east{0.0, -179.9};
+  const double d = haversine_m(west, east);
+  EXPECT_NEAR(d, 0.2 * 111194.9, 500.0);
+  // Symmetry must hold regardless of crossing direction.
+  EXPECT_DOUBLE_EQ(d, haversine_m(east, west));
+}
+
+TEST(Geodesy, AntimeridianIdenticalPointDifferentRepresentation) {
+  // longitude +180 and -180 name the same meridian.
+  const GeoPosition plus{10.0, 180.0};
+  const GeoPosition minus{10.0, -180.0};
+  EXPECT_NEAR(haversine_m(plus, minus), 0.0, 1e-6);
+}
+
+TEST(Geodesy, HighLatitudeLongitudeDegreesShrink) {
+  // At 80 degrees north, one degree of longitude spans cos(80 deg) of its
+  // equatorial width (~19.3 km instead of ~111 km).
+  const GeoPosition a{80.0, 0.0};
+  const GeoPosition b{80.0, 1.0};
+  const double polar = haversine_m(a, b);
+  const GeoPosition c{0.0, 0.0};
+  const GeoPosition d{0.0, 1.0};
+  const double equatorial = haversine_m(c, d);
+  EXPECT_NEAR(polar / equatorial, std::cos(80.0 * M_PI / 180.0), 0.01);
+  // A degree of latitude barely changes with latitude.
+  const double lat_polar = haversine_m({80.0, 0.0}, {81.0, 0.0});
+  EXPECT_NEAR(lat_polar / haversine_m({0.0, 0.0}, {1.0, 0.0}), 1.0, 0.01);
+}
+
+TEST(Geodesy, HighLatitudeLocalFrameRoundTripsAndBearsEast) {
+  // The equirectangular frame must stay self-consistent at high latitude:
+  // to_geo(to_local(p)) == p, and a due-east offset lands on the same
+  // parallel with the compressed longitude spacing.
+  const LocalFrame frame{{78.25, 15.5}};  // Svalbard
+  const GeoPosition p{78.2517, 15.52};
+  const GeoPosition rt = frame.to_geo(frame.to_local(p));
+  EXPECT_NEAR(rt.latitude_deg, p.latitude_deg, 1e-9);
+  EXPECT_NEAR(rt.longitude_deg, p.longitude_deg, 1e-9);
+
+  const GeoPosition east_100m = frame.to_geo({100.0, 0.0});
+  EXPECT_DOUBLE_EQ(east_100m.latitude_deg, 78.25);
+  EXPECT_GT(east_100m.longitude_deg, 15.5);
+  // Bearing check via the heading convention: the local displacement back
+  // from geographic must point due east.
+  const Vec2 disp = frame.to_local(east_100m);
+  EXPECT_NEAR(heading_from_vector(disp), M_PI / 2, 1e-9);
+  EXPECT_NEAR(disp.norm(), 100.0, 1e-6);
+}
+
+TEST(Geodesy, ZeroLengthSegments) {
+  // Degenerate inputs must behave as exact identities, not accumulate
+  // rounding noise.
+  const GeoPosition p{41.178, -8.608};
+  EXPECT_DOUBLE_EQ(haversine_m(p, p), 0.0);
+  const LocalFrame frame{p};
+  EXPECT_EQ(frame.to_local(p), (Vec2{0.0, 0.0}));
+  EXPECT_DOUBLE_EQ(distance({3.0, 4.0}, {3.0, 4.0}), 0.0);
+  EXPECT_EQ(Vec2{}.normalized(), (Vec2{0.0, 0.0}));
+}
+
+TEST(GeoArea, DegenerateShapesStayConsistent) {
+  // A tiny (epsilon) circle still contains its center and excludes
+  // everything else.
+  const GeoArea dot = GeoArea::circle({5.0, 5.0}, 1e-9);
+  EXPECT_TRUE(dot.contains({5.0, 5.0}));
+  EXPECT_FALSE(dot.contains({5.0 + 1e-6, 5.0}));
+  EXPECT_DOUBLE_EQ(dot.bounding_radius(), 1e-9);
+
+  // Extreme aspect-ratio rectangle: a 1 km x 1 cm sliver behaves like a
+  // line segment along its azimuth.
+  const GeoArea sliver = GeoArea::rectangle({0.0, 0.0}, 500.0, 0.005, M_PI / 2);
+  EXPECT_TRUE(sliver.contains({499.0, 0.0}));
+  EXPECT_FALSE(sliver.contains({0.0, 0.01}));
+  EXPECT_FALSE(sliver.contains({501.0, 0.0}));
+
+  // Zero and negative semi-distances must throw for every shape, not
+  // silently divide by zero.
+  EXPECT_THROW((void)GeoArea::ellipse({0, 0}, 0.0, 1.0).contains({0, 0}), std::logic_error);
+  EXPECT_THROW((void)GeoArea::ellipse({0, 0}, 1.0, 0.0).contains({0, 0}), std::logic_error);
+  EXPECT_THROW((void)GeoArea::rectangle({0, 0}, 1.0, -1.0).contains({0, 0}), std::logic_error);
+  GeoArea negative = GeoArea::circle({0, 0}, -3.0);
+  EXPECT_THROW((void)negative.contains({0, 0}), std::logic_error);
+}
+
 }  // namespace
 }  // namespace rst::geo

@@ -1,0 +1,58 @@
+// Golden-output regression guard for the default single-RSU experiment
+// path. The canonical Table II / Table III renderings of the seed-42
+// 5-trial campaign are pinned byte for byte: any change to the default
+// testbed configuration, the stochastic draw order, the latency pipeline
+// or the table formatting shows up here as a readable string diff. The
+// city-scale scenario work rides on the same stack, so this is the
+// guarantee that it left the default path untouched.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "rst/core/experiment.hpp"
+
+namespace rst {
+namespace {
+
+// Exact output of format_table2/format_table3 for the paper-protocol
+// campaign (TestbedConfig defaults, seed 42, 5 trials). Regenerate only
+// when a deliberate behavior change is being made, and say so in the PR.
+const std::string kGoldenTable2 =
+    "Table II: Time interval measurements (ms)\n"
+    "  Interval                         run#1  run#2  run#3  run#4  run#5    Avg\n"
+    "  #2->#3 Detection -> RSU DENM     31.8   23.2   22.0   28.8   19.7   25.1\n"
+    "  #3->#4 RSU DENM -> OBU recv       1.1    0.8    0.9    0.8    1.0    0.9\n"
+    "  #4->#5 OBU recv -> actuators     25.3   50.4   34.5   29.7   50.2   38.0\n"
+    "  Total delay (#2->#5)             58.2   74.4   57.4   59.3   70.9   64.1\n"
+    "  paper: 27.6 / 1.6 / 29.2 / 58.4 ms avg over 5 runs; all totals < 100 ms\n";
+
+const std::string kGoldenTable3 =
+    "Table III: Distance travelled from detection to halt (m)\n"
+    "  run#1: 0.33  run#2: 0.35  run#3: 0.38  run#4: 0.37  run#5: 0.36  \n"
+    "  avg 0.359 m, variance 0.0004 (paper: avg 0.36 m, var 0.0022)\n";
+
+core::ExperimentSummary paper_campaign(unsigned threads) {
+  core::TestbedConfig config;
+  config.seed = 42;
+  return core::run_emergency_brake_experiment(config, 5, threads);
+}
+
+TEST(GoldenOutput, Table2IsByteIdenticalToTheSeedRendering) {
+  const auto summary = paper_campaign(1);
+  EXPECT_EQ(core::format_table2(summary), kGoldenTable2);
+}
+
+TEST(GoldenOutput, Table3IsByteIdenticalToTheSeedRendering) {
+  const auto summary = paper_campaign(1);
+  EXPECT_EQ(core::format_table3(summary), kGoldenTable3);
+}
+
+TEST(GoldenOutput, RenderingIsThreadCountInvariant) {
+  const auto pooled = paper_campaign(4);
+  EXPECT_EQ(core::format_table2(pooled), kGoldenTable2);
+  EXPECT_EQ(core::format_table3(pooled), kGoldenTable3);
+}
+
+}  // namespace
+}  // namespace rst
