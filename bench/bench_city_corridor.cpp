@@ -7,6 +7,10 @@
 //
 // RST_THREADS fans the CBR sweep cells over a TrialPool (0/unset = auto);
 // every reported number and fingerprint is identical at any thread count.
+// RST_PARTITIONS fans each city's per-receiver medium physics across
+// partition domains (unset/1 = serial); fingerprints are identical at any
+// partition count, and the final determinism section proves it by
+// re-running the sweep serially.
 
 #include <chrono>
 #include <cstdio>
@@ -27,7 +31,9 @@ double wall_ms_since(std::chrono::steady_clock::time_point t0) {
 
 int main() {
   const unsigned threads = core::experiment_threads_from_env();
-  std::printf("[threads: %u]\n\n", core::resolve_experiment_threads(threads));
+  const unsigned partitions = core::experiment_partitions_from_env(1);
+  std::printf("[threads: %u] [partitions: %u]\n\n", core::resolve_experiment_threads(threads),
+              partitions);
 
   bool ok = true;
   const auto check = [&](const char* what, bool cond) {
@@ -161,10 +167,11 @@ int main() {
     cs.buildings = false;
     cs.max_rsus = 1;
     cs.obu_cam_interval = sim::SimTime::milliseconds(20);
+    cs.partitions = 1;  // force serial: the sweep above adopted RST_PARTITIONS
     const auto single =
         scenario::run_cbr_sweep(cs, {4, 12, 24, 40, 56}, sim::SimTime::seconds(3), 1);
     std::printf("\n=== Determinism ===\n");
-    check("CBR sweep fingerprint identical at 1 thread vs RST_THREADS",
+    check("CBR sweep fingerprint identical at 1 thread/1 partition vs env",
           scenario::cbr_sweep_fingerprint(single) == sweep_fp);
   }
 

@@ -13,6 +13,10 @@
 #include "rst/sim/random.hpp"
 #include "rst/sim/scheduler.hpp"
 
+namespace rst::sim {
+class PartitionedScheduler;
+}  // namespace rst::sim
+
 namespace rst::scenario {
 
 /// Deterministic description of a city-scale ITS-G5 workload: a Manhattan
@@ -74,6 +78,17 @@ struct CitySpec {
   /// Dense-fleet medium scaling (PR 3): per-link streams + grid culling.
   bool spatial_index{true};
   double power_floor_dbm{-110.0};
+  /// Culling/partition grid cell size in metres; 0 derives one hearing
+  /// radius from the power floor. One knob for both the spatial-index
+  /// geometry and the cell -> partition-domain mapping.
+  double grid_cell_m{0.0};
+
+  // --- Partitioned execution (PR 7) ---
+  /// Spatial partition domains for the medium's parallel phases. 0 adopts
+  /// the RST_PARTITIONS environment variable (unset = serial), 1 forces a
+  /// serial run; larger values fan per-receiver physics across a worker
+  /// team. Results are bit-identical to serial at any partition count.
+  int partitions{0};
 
   geo::GeoPosition origin{41.1780, -8.6080};
 
@@ -89,6 +104,11 @@ struct CitySpec {
 [[nodiscard]] CitySpec parse_city_spec(const std::string& text);
 /// The keys parse_city_spec understands, with one-line help.
 [[nodiscard]] std::vector<std::pair<std::string, std::string>> city_spec_keys();
+/// Renders a spec as `key = value` lines; parse_city_spec(format_city_spec(s))
+/// reproduces every parseable field of `s` exactly (CAM intervals print in
+/// whole milliseconds — the only granularity the parser accepts — and
+/// `origin` has no spec key, so it keeps its default).
+[[nodiscard]] std::string format_city_spec(const CitySpec& spec);
 
 /// One vehicle's route: a polyline over street centerlines, traversed at
 /// constant speed and closed into a loop (last waypoint connects back to
@@ -145,6 +165,12 @@ class CityScenario {
   [[nodiscard]] const RoadNetwork& network() const { return net_; }
   [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
   [[nodiscard]] dot11p::Medium& medium() { return *medium_; }
+  /// Engine driving the medium's domain-parallel phases; null when the run
+  /// is serial (resolved_partitions() <= 1 or no spatial index).
+  [[nodiscard]] sim::PartitionedScheduler* partition_engine() { return engine_.get(); }
+  /// Partition count in effect after resolving `spec.partitions` (0 = the
+  /// RST_PARTITIONS environment variable, absent meaning serial).
+  [[nodiscard]] int resolved_partitions() const;
   [[nodiscard]] const geo::LocalFrame& frame() const { return frame_; }
   /// Null when the spec has no buildings.
   [[nodiscard]] const dot11p::ObstacleShadowingModel* obstacles() const { return obstacles_; }
@@ -173,6 +199,7 @@ class CityScenario {
   sim::RandomStream rng_;
   geo::LocalFrame frame_;
   sim::Scheduler sched_;
+  std::unique_ptr<sim::PartitionedScheduler> engine_;
   std::unique_ptr<dot11p::Medium> medium_;
   std::unique_ptr<middleware::HttpLan> lan_;
   const dot11p::ObstacleShadowingModel* obstacles_{nullptr};

@@ -1,0 +1,243 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rst/sim/scheduler.hpp"
+#include "rst/sim/small_function.hpp"
+#include "rst/sim/time.hpp"
+
+namespace rst::sim {
+
+namespace detail {
+
+/// Fixed fork-join team for microsecond-scale phases.
+///
+/// `TrialPool` parks idle workers on a condition variable, which is the
+/// right trade for millisecond-scale trials but costs a ~10 us wake per
+/// dispatch — more than an entire medium fan-out phase at city scale. A
+/// partitioned run dispatches a phase per transmission begin/finish
+/// (~10^6/sim-second at 10k stations), so this team keeps workers spinning
+/// on an atomic epoch while phases arrive back-to-back and only falls back
+/// to the condition variable after a spin budget expires. Phases are
+/// published as a plain function pointer + context so dispatch itself
+/// never allocates.
+///
+/// The calling thread participates as member 0; `participants - 1` threads
+/// are spawned. `run()` is not reentrant and must always be called from
+/// the same (owning) thread.
+class WorkerTeam {
+ public:
+  /// Phase body: called as fn(ctx, index) for every index in [0, width).
+  using PhaseFn = void (*)(void* ctx, unsigned index);
+
+  explicit WorkerTeam(unsigned participants);
+  WorkerTeam(const WorkerTeam&) = delete;
+  WorkerTeam& operator=(const WorkerTeam&) = delete;
+  ~WorkerTeam();
+
+  [[nodiscard]] unsigned participants() const {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Runs fn(ctx, i) for every i in [0, width); member k executes the
+  /// indices congruent to k modulo participants(), the caller runs member
+  /// 0's share in place. Returns when every index has run; an exception
+  /// thrown by any index is rethrown here (first one wins) after the
+  /// phase has fully drained.
+  void run(unsigned width, PhaseFn fn, void* ctx);
+
+  /// Convenience adapter: runs f(i) for every i in [0, width).
+  template <typename F>
+  void run_phase(unsigned width, F&& f) {
+    auto thunk = [](void* ctx, unsigned i) { (*static_cast<std::decay_t<F>*>(ctx))(i); };
+    run(width, thunk, const_cast<void*>(static_cast<const void*>(std::addressof(f))));
+  }
+
+ private:
+  void worker_main(unsigned member);
+  void execute_share(unsigned member);
+
+  // Phase publication: the caller stores fn_/ctx_/width_, then bumps
+  // epoch_ (seq_cst). Workers observe the bump (their loads are seq_cst
+  // too) and run their share; the seq_cst total order is what makes the
+  // sleeping_-vs-epoch handshake below miss-free. done_ counts finished
+  // workers; the caller spins on it (it never parks).
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<unsigned> done_{0};
+  PhaseFn fn_{nullptr};
+  void* ctx_{nullptr};
+  unsigned width_{0};
+  std::atomic<bool> stop_{false};
+
+  // Parking: a worker that has spun through its budget registers in
+  // sleeping_ under mu_ and waits; the caller notifies only when
+  // sleeping_ != 0, so the common back-to-back-phase case takes no lock.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::atomic<unsigned> sleeping_{0};
+
+  std::mutex error_mu_;
+  std::exception_ptr first_error_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace detail
+
+/// Conservative lookahead for a spatially partitioned medium: the minimum
+/// cross-partition propagation delay (domain gap at the speed of light)
+/// plus one MAC slot time. Any cross-partition effect of an event at time
+/// t lands no earlier than t + lookahead, so every partition may execute
+/// events with t < window_floor + lookahead without coordination.
+[[nodiscard]] constexpr SimTime conservative_lookahead(double min_domain_gap_m,
+                                                       SimTime mac_slot) {
+  constexpr double kSpeedOfLightMps = 299'792'458.0;
+  return SimTime::from_seconds(min_domain_gap_m / kSpeedOfLightMps) + mac_slot;
+}
+
+/// Partitioned discrete-event engine: N per-partition event queues advanced
+/// in conservative time windows by a fixed worker team.
+///
+/// Each synchronization window picks the global minimum pending timestamp
+/// `floor` and lets every partition execute its events with
+/// `t < floor + lookahead` in parallel, one partition per team member at a
+/// time. Cross-partition interactions are sent as timestamped messages
+/// (`send()`), buffered in per-partition outboxes and drained at the window
+/// barrier in the deterministic (time, source partition, sequence) order,
+/// so the destination queue's contents — and therefore the entire run — are
+/// bit-identical at any thread count, including `threads = 1`.
+///
+/// The conservative contract is enforced, not assumed: `send()` requires
+/// the target timestamp to be at or after the current window's end
+/// (i.e. at least `lookahead` past the window floor) and throws otherwise.
+/// Intra-partition scheduling (`post_at` etc.) has no such restriction; it
+/// may target any time >= the partition's local clock, exactly like the
+/// serial `Scheduler`.
+///
+/// With zero-delay couplings (the instantaneous carrier-sense medium),
+/// per-event lookahead degenerates to zero and this engine is still
+/// useful through `parallel_phase()`: a serial event fans its
+/// embarrassingly-parallel portion (per-receiver physics, partitioned by
+/// spatial domain) across the same worker team between events. That is the
+/// path the partitioned `dot11p::Medium` takes.
+class PartitionedScheduler {
+ public:
+  using Callback = SmallFunction;
+
+  struct Config {
+    /// Number of event partitions (>= 1).
+    std::uint32_t partitions{1};
+    /// Team size incl. the calling thread; 0 = min(partitions, hardware).
+    unsigned threads{0};
+    /// Conservative window width; must be > 0. See conservative_lookahead().
+    SimTime lookahead{SimTime::microseconds(13)};
+  };
+
+  explicit PartitionedScheduler(Config cfg);
+  PartitionedScheduler(const PartitionedScheduler&) = delete;
+  PartitionedScheduler& operator=(const PartitionedScheduler&) = delete;
+  ~PartitionedScheduler();
+
+  [[nodiscard]] std::uint32_t partitions() const {
+    return static_cast<std::uint32_t>(parts_.size());
+  }
+  [[nodiscard]] unsigned threads() const { return team_->participants(); }
+  [[nodiscard]] SimTime lookahead() const { return lookahead_; }
+
+  /// Committed global time: every event strictly before now() has executed.
+  [[nodiscard]] SimTime now() const { return now_; }
+  /// The executing partition's local clock when called from inside an
+  /// event; now() otherwise.
+  [[nodiscard]] SimTime local_now() const;
+
+  /// Schedules onto `partition`. Legal from outside the run loop, or from
+  /// an event executing on that same partition; scheduling onto a *other*
+  /// partition mid-event must go through send() and throws here.
+  EventHandle schedule_at(std::uint32_t partition, SimTime when, Callback cb);
+  void post_at(std::uint32_t partition, SimTime when, Callback cb);
+  void post_in(std::uint32_t partition, SimTime delay, Callback cb);
+
+  /// Cross-partition message from the currently executing event: delivered
+  /// into partition `to` at time `when`, which must be >= the current
+  /// window's end (the conservative-lookahead contract). Messages drain at
+  /// the window barrier in (when, source partition, send sequence) order.
+  /// Only legal while an event is executing.
+  void send(std::uint32_t to, SimTime when, Callback cb);
+  /// send() that returns a cancellation handle. The handle is safe to
+  /// cancel from any partition; cancellation is deterministic when the
+  /// cancel and the event are separated by at least one window barrier.
+  EventHandle send_tracked(std::uint32_t to, SimTime when, Callback cb);
+
+  /// Runs windows until every queue is empty (or `limit` events ran;
+  /// the limit is checked at window boundaries, not per event). Returns
+  /// the number of events executed.
+  std::size_t run(std::size_t limit = SIZE_MAX);
+
+  /// Runs all events with time <= deadline, then advances now() to the
+  /// deadline even if queues still hold later events.
+  std::size_t run_until(SimTime deadline);
+
+  /// Fork-join helper on the engine's worker team: runs f(i) for each
+  /// i in [0, width). Member k runs indices congruent to k; the caller
+  /// participates. Must not be called from inside an engine window (the
+  /// team is not reentrant); callable freely between runs or from a serial
+  /// Scheduler event (the partitioned-medium path).
+  template <typename F>
+  void parallel_phase(unsigned width, F&& f) {
+    team_->run_phase(width, std::forward<F>(f));
+  }
+
+  [[nodiscard]] std::uint64_t executed_events() const;
+  [[nodiscard]] std::uint64_t windows_executed() const { return windows_; }
+  [[nodiscard]] std::uint64_t messages_delivered() const { return messages_; }
+  [[nodiscard]] std::size_t pending_events() const;
+
+ private:
+  struct Outgoing {
+    SimTime when;
+    std::uint32_t from;  // source partition: second key of the merge order
+    std::uint32_t to;
+    std::uint64_t seq;  // per-source send order: third key of the merge order
+    Callback cb;
+    std::shared_ptr<EventHandle::State> state;  // null on the untracked path
+  };
+
+  struct Partition {
+    detail::EventQueue queue;
+    SimTime local_now{SimTime::zero()};
+    std::uint64_t executed{0};
+    std::uint64_t out_seq{0};
+    std::vector<Outgoing> outbox;
+  };
+
+  /// Runs windows while events with t <= deadline exist; soft event cap.
+  std::size_t run_windows(SimTime deadline, std::size_t limit);
+  void execute_partition_window(std::uint32_t pi, SimTime end, SimTime deadline);
+  void drain_outboxes();
+  void send_impl(std::uint32_t to, SimTime when, Callback&& cb,
+                 std::shared_ptr<EventHandle::State> state);
+  /// Validates the partition index, the mid-event cross-partition rule and
+  /// the past-check for a direct (non-send) push targeting `when`.
+  [[nodiscard]] Partition& checked_partition(std::uint32_t partition, SimTime when);
+  /// Index of the partition the calling thread is executing for this
+  /// engine, or UINT32_MAX when not inside an event.
+  [[nodiscard]] std::uint32_t executing_partition() const;
+
+  std::vector<std::unique_ptr<Partition>> parts_;
+  std::unique_ptr<detail::WorkerTeam> team_;
+  SimTime lookahead_;
+  SimTime now_{SimTime::zero()};
+  SimTime window_end_{SimTime::zero()};
+  bool in_window_{false};
+  std::uint64_t windows_{0};
+  std::uint64_t messages_{0};
+  std::vector<Outgoing> merge_scratch_;
+};
+
+}  // namespace rst::sim

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <sstream>
 #include <stdexcept>
 
 #include "rst/core/config_io.hpp"
+#include "rst/core/experiment.hpp"
+#include "rst/sim/partitioned_scheduler.hpp"
 
 namespace rst::scenario {
 
@@ -48,6 +52,12 @@ void CitySpec::validate() const {
   }
   if (!std::isfinite(power_floor_dbm) || power_floor_dbm > 0.0) {
     throw std::invalid_argument{"CitySpec: power_floor_dbm must be a finite negative level"};
+  }
+  if (!std::isfinite(grid_cell_m) || grid_cell_m < 0.0) {
+    throw std::invalid_argument{"CitySpec: grid_cell_m must be a finite non-negative size"};
+  }
+  if (partitions < 0) {
+    throw std::invalid_argument{"CitySpec: partitions must be non-negative (0 = environment)"};
   }
   const int rows = blocks_y + 1;
   if (corridor_row >= rows) {
@@ -118,6 +128,10 @@ CitySpec parse_city_spec(const std::string& text) {
       spec.spatial_index = parse_spec_bool(value, key);
     } else if (key == "power_floor_dbm") {
       spec.power_floor_dbm = parse_spec_double(value, key);
+    } else if (key == "grid_cell_m") {
+      spec.grid_cell_m = parse_spec_double(value, key);
+    } else if (key == "partitions") {
+      spec.partitions = static_cast<int>(parse_spec_int(value, key));
     } else {
       throw std::invalid_argument{"city spec: unknown key '" + key + "'"};
     }
@@ -152,7 +166,61 @@ std::vector<std::pair<std::string, std::string>> city_spec_keys() {
       {"tx_power_dbm", "station transmit power"},
       {"spatial_index", "grid receiver culling (PR 3 medium)"},
       {"power_floor_dbm", "per-link out-of-range floor"},
+      {"grid_cell_m", "culling/partition grid cell size (0 = derive)"},
+      {"partitions", "medium partition domains (0 = RST_PARTITIONS env)"},
   };
+}
+
+namespace {
+
+/// %.17g is the shortest printf format that round-trips every finite
+/// double through strtod/stod exactly.
+std::string format_spec_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_city_spec(const CitySpec& spec) {
+  std::ostringstream out;
+  const auto put = [&](const char* key, const std::string& value) {
+    out << key << " = " << value << "\n";
+  };
+  const auto num = [&](const char* key, double v) { put(key, format_spec_double(v)); };
+  const auto integer = [&](const char* key, long long v) { put(key, std::to_string(v)); };
+  const auto boolean = [&](const char* key, bool v) { put(key, v ? "true" : "false"); };
+
+  // Seeds above INT64_MAX print as their two's-complement negative so the
+  // parser's stoll -> uint64 cast lands back on the same bit pattern.
+  integer("seed", static_cast<long long>(spec.seed));
+  integer("blocks_x", spec.blocks_x);
+  integer("blocks_y", spec.blocks_y);
+  num("block_m", spec.block_m);
+  num("street_m", spec.street_m);
+  integer("corridor_row", spec.corridor_row);
+  boolean("buildings", spec.buildings);
+  num("building_loss_db", spec.building_loss_db);
+  num("building_setback_m", spec.building_setback_m);
+  integer("rsu_every", spec.rsu_every);
+  integer("max_rsus", spec.max_rsus);
+  boolean("rsu_corridor_only", spec.rsu_corridor_only);
+  integer("rsu_cam_interval_ms", spec.rsu_cam_interval.count_ns() / 1'000'000);
+  integer("vehicles", spec.vehicles);
+  num("vehicle_speed_mps", spec.vehicle_speed_mps);
+  num("vehicle_speed_jitter_mps", spec.vehicle_speed_jitter_mps);
+  integer("obu_cam_interval_ms", spec.obu_cam_interval.count_ns() / 1'000'000);
+  boolean("enable_dcc", spec.enable_dcc);
+  boolean("enable_kaf", spec.enable_kaf);
+  num("path_loss_exponent", spec.path_loss_exponent);
+  num("shadowing_sigma_db", spec.shadowing_sigma_db);
+  num("tx_power_dbm", spec.tx_power_dbm);
+  boolean("spatial_index", spec.spatial_index);
+  num("power_floor_dbm", spec.power_floor_dbm);
+  num("grid_cell_m", spec.grid_cell_m);
+  integer("partitions", spec.partitions);
+  return out.str();
 }
 
 // --- Flows ------------------------------------------------------------------
@@ -343,9 +411,17 @@ CityScenario::CityScenario(CitySpec spec)
   channel.per_link_streams = spec_.spatial_index;
   channel.spatial_index = spec_.spatial_index;
   channel.power_floor_dbm = spec_.power_floor_dbm;
+  channel.cell_size_m = spec_.grid_cell_m;
   channel.max_station_speed_mps =
       std::max(50.0, 2.0 * (spec_.vehicle_speed_mps + spec_.vehicle_speed_jitter_mps));
+  const int parts = resolved_partitions();
+  if (parts > 1 && spec_.spatial_index) {
+    sim::PartitionedScheduler::Config pcfg;
+    pcfg.partitions = static_cast<std::uint32_t>(parts);
+    engine_ = std::make_unique<sim::PartitionedScheduler>(pcfg);
+  }
   medium_ = std::make_unique<dot11p::Medium>(sched_, rng_.child("medium"), std::move(channel));
+  if (engine_) medium_->set_partition_engine(engine_.get());
   lan_ = std::make_unique<middleware::HttpLan>(sched_, rng_.child("lan"));
 
   rsus_.reserve(net_.rsu_positions.size());
@@ -371,6 +447,11 @@ CityScenario::CityScenario(CitySpec spec)
 }
 
 CityScenario::~CityScenario() = default;
+
+int CityScenario::resolved_partitions() const {
+  if (spec_.partitions > 0) return spec_.partitions;
+  return static_cast<int>(core::experiment_partitions_from_env(1));
+}
 
 core::ItsStation& CityScenario::vehicle(std::size_t i) { return vehicles_[i]->station(); }
 

@@ -1,0 +1,350 @@
+#include "rst/sim/partitioned_scheduler.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+
+namespace rst::sim {
+
+namespace detail {
+
+namespace {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Pause-loop iterations before a worker parks on the condition variable
+/// (tens of microseconds of spinning — several phase periods at city-scale
+/// transmission rates, so back-to-back phases never pay a wake).
+constexpr unsigned kSpinBudget = 1u << 14;
+
+}  // namespace
+
+WorkerTeam::WorkerTeam(unsigned participants) {
+  if (participants == 0) participants = 1;
+  workers_.reserve(participants - 1);
+  for (unsigned member = 1; member < participants; ++member) {
+    workers_.emplace_back([this, member] { worker_main(member); });
+  }
+}
+
+WorkerTeam::~WorkerTeam() {
+  stop_.store(true, std::memory_order_seq_cst);
+  epoch_.fetch_add(1, std::memory_order_seq_cst);
+  {
+    // Taking the mutex orders the notify after any in-flight park decision.
+    std::lock_guard<std::mutex> lk{mu_};
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void WorkerTeam::execute_share(unsigned member) {
+  const unsigned step = participants();
+  try {
+    for (unsigned i = member; i < width_; i += step) fn_(ctx_, i);
+  } catch (...) {
+    std::lock_guard<std::mutex> lk{error_mu_};
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void WorkerTeam::worker_main(unsigned member) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    unsigned spins = 0;
+    while (epoch_.load(std::memory_order_seq_cst) == seen) {
+      if (stop_.load(std::memory_order_seq_cst)) return;
+      if (++spins < kSpinBudget) {
+        cpu_relax();
+        continue;
+      }
+      std::unique_lock<std::mutex> lk{mu_};
+      sleeping_.fetch_add(1, std::memory_order_seq_cst);
+      cv_.wait(lk, [&] {
+        return epoch_.load(std::memory_order_seq_cst) != seen ||
+               stop_.load(std::memory_order_seq_cst);
+      });
+      sleeping_.fetch_sub(1, std::memory_order_seq_cst);
+    }
+    if (stop_.load(std::memory_order_seq_cst)) return;
+    seen = epoch_.load(std::memory_order_seq_cst);
+    execute_share(member);
+    done_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void WorkerTeam::run(unsigned width, PhaseFn fn, void* ctx) {
+  if (workers_.empty()) {
+    for (unsigned i = 0; i < width; ++i) fn(ctx, i);
+    return;
+  }
+  fn_ = fn;
+  ctx_ = ctx;
+  width_ = width;
+  // Every worker from the previous phase has already incremented done_
+  // (run() waited for them), so resetting here cannot lose a count.
+  done_.store(0, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_seq_cst);
+  // Miss-free handshake: a worker that decided to park registered in
+  // sleeping_ (seq_cst, under mu_) *before* its final epoch check. If that
+  // check preceded our bump in the seq_cst order, our sleeping_ load below
+  // comes after its registration and we notify; otherwise its wait
+  // predicate already sees the new epoch and never blocks.
+  if (sleeping_.load(std::memory_order_seq_cst) != 0) {
+    {
+      std::lock_guard<std::mutex> lk{mu_};
+    }
+    cv_.notify_all();
+  }
+  execute_share(0);
+  const auto outstanding = static_cast<unsigned>(workers_.size());
+  unsigned spins = 0;
+  while (done_.load(std::memory_order_acquire) != outstanding) {
+    if (++spins < kSpinBudget) {
+      cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  // The acquire on done_ orders this unsynchronized peek after every
+  // worker's (mutex-guarded) store.
+  if (first_error_) {
+    std::exception_ptr err;
+    {
+      std::lock_guard<std::mutex> lk{error_mu_};
+      err = std::exchange(first_error_, nullptr);
+    }
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Which (engine, partition) the calling thread is currently executing an
+/// event for. Lets send()/post_*/local_now() know their execution context
+/// without plumbing it through every callback signature.
+struct TlsExec {
+  const void* engine{nullptr};
+  std::uint32_t partition{0};
+};
+thread_local TlsExec tls_exec;
+
+constexpr std::uint32_t kNoPartition = UINT32_MAX;
+
+}  // namespace
+
+PartitionedScheduler::PartitionedScheduler(Config cfg) : lookahead_{cfg.lookahead} {
+  if (cfg.partitions == 0) {
+    throw std::invalid_argument{"PartitionedScheduler: partitions must be >= 1"};
+  }
+  if (lookahead_ <= SimTime::zero()) {
+    throw std::invalid_argument{"PartitionedScheduler: lookahead must be positive"};
+  }
+  parts_.reserve(cfg.partitions);
+  for (std::uint32_t i = 0; i < cfg.partitions; ++i) {
+    parts_.push_back(std::make_unique<Partition>());
+  }
+  unsigned threads = cfg.threads;
+  if (threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;
+    threads = std::min<unsigned>(cfg.partitions, hw);
+  }
+  team_ = std::make_unique<detail::WorkerTeam>(threads);
+}
+
+PartitionedScheduler::~PartitionedScheduler() = default;
+
+std::uint32_t PartitionedScheduler::executing_partition() const {
+  return tls_exec.engine == this ? tls_exec.partition : kNoPartition;
+}
+
+SimTime PartitionedScheduler::local_now() const {
+  const std::uint32_t cur = executing_partition();
+  return cur == kNoPartition ? now_ : parts_[cur]->local_now;
+}
+
+PartitionedScheduler::Partition& PartitionedScheduler::checked_partition(std::uint32_t partition,
+                                                                         SimTime when) {
+  if (partition >= parts_.size()) {
+    throw std::out_of_range{"PartitionedScheduler: partition index out of range"};
+  }
+  const std::uint32_t cur = executing_partition();
+  if (in_window_ && cur != partition) {
+    throw std::logic_error{
+        "PartitionedScheduler: scheduling onto another partition from inside an "
+        "event is a race; use send()"};
+  }
+  const SimTime floor = cur == partition ? parts_[partition]->local_now : now_;
+  if (when < floor) {
+    throw std::invalid_argument{"PartitionedScheduler: time in the past"};
+  }
+  return *parts_[partition];
+}
+
+EventHandle PartitionedScheduler::schedule_at(std::uint32_t partition, SimTime when, Callback cb) {
+  Partition& part = checked_partition(partition, when);
+  // Handle state comes from the global heap, not the queue's recycling
+  // pool: a handle's last reference may drop on whichever thread executes
+  // some other partition, and the pool free-list is single-owner.
+  auto state = std::make_shared<EventHandle::State>();
+  part.queue.push(when, std::move(cb), state);
+  return EventHandle{std::move(state)};
+}
+
+void PartitionedScheduler::post_at(std::uint32_t partition, SimTime when, Callback cb) {
+  Partition& part = checked_partition(partition, when);
+  part.queue.push(when, std::move(cb), nullptr);
+}
+
+void PartitionedScheduler::post_in(std::uint32_t partition, SimTime delay, Callback cb) {
+  const std::uint32_t cur = executing_partition();
+  const SimTime base =
+      cur == partition && partition < parts_.size() ? parts_[partition]->local_now : now_;
+  post_at(partition, base + delay, std::move(cb));
+}
+
+void PartitionedScheduler::send_impl(std::uint32_t to, SimTime when, Callback&& cb,
+                                     std::shared_ptr<EventHandle::State> state) {
+  const std::uint32_t from = executing_partition();
+  if (from == kNoPartition || !in_window_) {
+    throw std::logic_error{
+        "PartitionedScheduler::send: only legal from an executing event (use "
+        "post_at outside the run loop)"};
+  }
+  if (to >= parts_.size()) {
+    throw std::out_of_range{"PartitionedScheduler::send: partition index out of range"};
+  }
+  if (when < window_end_) {
+    throw std::invalid_argument{
+        "PartitionedScheduler::send: target time violates the conservative "
+        "lookahead window"};
+  }
+  Partition& src = *parts_[from];
+  src.outbox.push_back(Outgoing{when, from, to, src.out_seq++, std::move(cb), std::move(state)});
+}
+
+void PartitionedScheduler::send(std::uint32_t to, SimTime when, Callback cb) {
+  send_impl(to, when, std::move(cb), nullptr);
+}
+
+EventHandle PartitionedScheduler::send_tracked(std::uint32_t to, SimTime when, Callback cb) {
+  auto state = std::make_shared<EventHandle::State>();
+  send_impl(to, when, std::move(cb), state);
+  return EventHandle{std::move(state)};
+}
+
+void PartitionedScheduler::execute_partition_window(std::uint32_t pi, SimTime end,
+                                                    SimTime deadline) {
+  Partition& part = *parts_[pi];
+  tls_exec = TlsExec{this, pi};
+  for (;;) {
+    part.queue.purge_cancelled_front();
+    if (part.queue.empty()) break;
+    const SimTime t = part.queue.front_time();
+    if (t >= end || t > deadline) break;
+    SimTime when;
+    Callback cb;
+    part.queue.pop(when, cb);
+    part.local_now = when;
+    ++part.executed;
+    cb();
+  }
+  tls_exec = TlsExec{};
+}
+
+void PartitionedScheduler::drain_outboxes() {
+  merge_scratch_.clear();
+  for (auto& p : parts_) {
+    for (auto& msg : p->outbox) merge_scratch_.push_back(std::move(msg));
+    p->outbox.clear();
+  }
+  if (merge_scratch_.empty()) return;
+  // (when, source partition, send seq) is unique per message, so this total
+  // order — and therefore the destination queues' pop order — is
+  // independent of which thread ran which partition.
+  std::sort(merge_scratch_.begin(), merge_scratch_.end(),
+            [](const Outgoing& a, const Outgoing& b) {
+              if (a.when != b.when) return a.when < b.when;
+              if (a.from != b.from) return a.from < b.from;
+              return a.seq < b.seq;
+            });
+  for (auto& msg : merge_scratch_) {
+    parts_[msg.to]->queue.push(msg.when, std::move(msg.cb), std::move(msg.state));
+    ++messages_;
+  }
+  merge_scratch_.clear();
+}
+
+std::size_t PartitionedScheduler::run_windows(SimTime deadline, std::size_t limit) {
+  std::size_t total = 0;
+  while (total < limit) {
+    SimTime floor = SimTime::max();
+    bool any = false;
+    for (auto& p : parts_) {
+      p->queue.purge_cancelled_front();
+      if (!p->queue.empty()) {
+        any = true;
+        floor = std::min(floor, p->queue.front_time());
+      }
+    }
+    if (!any || floor > deadline) break;
+    const SimTime end =
+        floor > SimTime::max() - lookahead_ ? SimTime::max() : floor + lookahead_;
+    window_end_ = end;
+    in_window_ = true;
+    std::uint64_t before = 0;
+    for (auto& p : parts_) before += p->executed;
+    const auto width = static_cast<unsigned>(parts_.size());
+    try {
+      team_->run_phase(width,
+                       [&](unsigned pi) { execute_partition_window(pi, end, deadline); });
+    } catch (...) {
+      in_window_ = false;
+      throw;
+    }
+    in_window_ = false;
+    drain_outboxes();
+    std::uint64_t after = 0;
+    for (auto& p : parts_) after += p->executed;
+    total += static_cast<std::size_t>(after - before);
+    ++windows_;
+    now_ = std::min(end, deadline);
+  }
+  return total;
+}
+
+std::size_t PartitionedScheduler::run(std::size_t limit) {
+  return run_windows(SimTime::max(), limit);
+}
+
+std::size_t PartitionedScheduler::run_until(SimTime deadline) {
+  const std::size_t n = run_windows(deadline, SIZE_MAX);
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+std::uint64_t PartitionedScheduler::executed_events() const {
+  std::uint64_t total = 0;
+  for (const auto& p : parts_) total += p->executed;
+  return total;
+}
+
+std::size_t PartitionedScheduler::pending_events() const {
+  std::size_t total = 0;
+  for (const auto& p : parts_) total += p->queue.size();
+  return total;
+}
+
+}  // namespace rst::sim

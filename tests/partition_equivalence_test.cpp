@@ -1,0 +1,313 @@
+// PR 7 acceptance suite: partitioned medium execution is bit-identical to
+// serial. Every city experiment fingerprint, and the raw medium counters of
+// 50 random topologies, must not move by one bit when the same world runs
+// at 1, 2 or 8 partition domains — including topologies whose stations
+// migrate between domains mid-run.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "rst/core/config_io.hpp"
+#include "rst/core/experiment.hpp"
+#include "rst/core/testbed.hpp"
+#include "rst/scenario/city.hpp"
+#include "rst/sim/random.hpp"
+
+namespace rst {
+namespace {
+
+using scenario::CitySpec;
+using sim::SimTime;
+
+constexpr int kPartitionCounts[] = {1, 2, 8};
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Runs a city for `duration` and folds every medium counter plus the
+/// scheduler's event count into one hash. Any divergence between serial
+/// and partitioned execution — an extra delivery, a different PER draw, a
+/// cache-stat mismatch — lands in this value.
+std::uint64_t run_city_fingerprint(CitySpec spec, int partitions, SimTime duration) {
+  spec.partitions = partitions;
+  scenario::CityScenario city{spec};
+  if (partitions > 1) {
+    EXPECT_NE(city.partition_engine(), nullptr);
+  }
+  city.start();
+  city.scheduler().run_until(duration);
+  const auto& st = city.medium().stats();
+  std::uint64_t h = 1469598103934665603ull;
+  h = fnv1a(h, st.frames_transmitted);
+  h = fnv1a(h, st.deliveries);
+  h = fnv1a(h, st.dropped_half_duplex);
+  h = fnv1a(h, st.dropped_below_sensitivity);
+  h = fnv1a(h, st.dropped_error);
+  h = fnv1a(h, st.culled_below_floor);
+  h = fnv1a(h, st.budget_cache_hits);
+  h = fnv1a(h, st.budget_cache_misses);
+  h = fnv1a(h, city.scheduler().executed_events());
+  h = fnv1a(h, static_cast<std::uint64_t>(city.scheduler().now().count_ns()));
+  return h;
+}
+
+// The four PR 6 city experiments, with the specs their own suites use
+// (scaled where the full experiment would dominate the suite's budget).
+
+CitySpec coverage_city() {
+  CitySpec spec;
+  spec.seed = 7;
+  spec.blocks_x = 3;
+  spec.blocks_y = 3;
+  spec.block_m = 100.0;
+  spec.vehicles = 0;
+  spec.rsu_every = 3;
+  return spec;
+}
+
+CitySpec handover_city() {
+  CitySpec spec;
+  spec.seed = 11;
+  spec.blocks_x = 4;
+  spec.blocks_y = 2;
+  spec.block_m = 120.0;
+  spec.vehicles = 0;
+  spec.rsu_corridor_only = true;
+  spec.rsu_every = 2;
+  spec.vehicle_speed_mps = 12.0;
+  return spec;
+}
+
+CitySpec cbr_city() {
+  CitySpec spec;
+  spec.seed = 21;
+  spec.blocks_x = 2;
+  spec.blocks_y = 2;
+  spec.block_m = 60.0;
+  spec.buildings = false;
+  spec.rsu_every = 2;
+  spec.max_rsus = 1;
+  spec.obu_cam_interval = SimTime::milliseconds(20);
+  return spec;
+}
+
+CitySpec delivery_city() {
+  CitySpec spec;
+  spec.seed = 31;
+  spec.blocks_x = 6;
+  spec.blocks_y = 2;
+  spec.block_m = 120.0;
+  spec.path_loss_exponent = 3.5;
+  spec.vehicle_speed_mps = 8.0;
+  return spec;
+}
+
+TEST(PartitionEquivalence, CoverageMapIsPartitionCountInvariant) {
+  std::vector<std::uint64_t> prints;
+  for (const int p : kPartitionCounts) {
+    CitySpec spec = coverage_city();
+    spec.partitions = p;
+    scenario::CityScenario city{spec};
+    prints.push_back(scenario::measure_coverage(city, 0, 10.0).fingerprint());
+  }
+  EXPECT_EQ(prints[0], prints[1]);
+  EXPECT_EQ(prints[0], prints[2]);
+}
+
+TEST(PartitionEquivalence, HandoverReportIsPartitionCountInvariant) {
+  std::vector<std::uint64_t> prints;
+  std::vector<scenario::HandoverReport> reports;
+  for (const int p : kPartitionCounts) {
+    CitySpec spec = handover_city();
+    spec.partitions = p;
+    reports.push_back(scenario::run_handover_experiment(spec, SimTime::seconds(40)));
+    prints.push_back(reports.back().fingerprint());
+  }
+  EXPECT_EQ(prints[0], prints[1]);
+  EXPECT_EQ(prints[0], prints[2]);
+  // Not just the hash: the structured timeline must match field by field.
+  EXPECT_EQ(reports[0].serving_sequence, reports[2].serving_sequence);
+  EXPECT_EQ(reports[0].max_service_gap, reports[2].max_service_gap);
+  EXPECT_EQ(reports[0].receptions.size(), reports[2].receptions.size());
+}
+
+TEST(PartitionEquivalence, CbrSweepIsPartitionCountInvariant) {
+  // 16 vehicles in a 120 m cell: every begin fans out past the parallel
+  // threshold, so the partitioned path really executes.
+  const std::vector<int> densities = {4, 16};
+  std::vector<std::uint64_t> prints;
+  for (const int p : kPartitionCounts) {
+    CitySpec spec = cbr_city();
+    spec.partitions = p;
+    const auto curve = scenario::run_cbr_sweep(spec, densities, SimTime::seconds(2));
+    prints.push_back(scenario::cbr_sweep_fingerprint(curve));
+  }
+  EXPECT_EQ(prints[0], prints[1]);
+  EXPECT_EQ(prints[0], prints[2]);
+}
+
+TEST(PartitionEquivalence, DeliveryReportIsPartitionCountInvariant) {
+  // 30 s reaches the full near-chain delivery (the far crossing takes
+  // ~90 s; the delivery suite owns that long tail).
+  std::vector<std::uint64_t> prints;
+  for (const int p : kPartitionCounts) {
+    CitySpec spec = delivery_city();
+    spec.partitions = p;
+    prints.push_back(scenario::run_delivery_experiment(spec, SimTime::seconds(30)).fingerprint());
+  }
+  EXPECT_EQ(prints[0], prints[1]);
+  EXPECT_EQ(prints[0], prints[2]);
+}
+
+TEST(PartitionEquivalence, EmergencyBrakeTablesByteCompareAcrossPartitions) {
+  // The core testbed experiment through the same knob: the rendered
+  // Table II/III reports must be byte-identical, not merely statistically
+  // close.
+  const auto run_tables = [](int partitions) {
+    core::TestbedConfig config;
+    config.medium_spatial_index = true;
+    config.medium_partitions = partitions;
+    const auto summary = core::run_emergency_brake_experiment(config, 4, 1);
+    return core::format_table2(summary) + core::format_table3(summary);
+  };
+  const std::string serial = run_tables(1);
+  EXPECT_EQ(serial, run_tables(2));
+  EXPECT_EQ(serial, run_tables(8));
+}
+
+TEST(PartitionEquivalence, FiftyRandomTopologiesMatchSerial) {
+  sim::RandomStream rng{0xC171ull, "partition-equivalence"};
+  for (int i = 0; i < 50; ++i) {
+    CitySpec spec;
+    spec.seed = static_cast<std::uint64_t>(rng.uniform_int(1, 1'000'000));
+    spec.blocks_x = static_cast<int>(rng.uniform_int(2, 4));
+    spec.blocks_y = static_cast<int>(rng.uniform_int(2, 4));
+    spec.block_m = rng.uniform(60.0, 140.0);
+    spec.vehicles = static_cast<int>(rng.uniform_int(4, 14));
+    spec.vehicle_speed_mps = rng.uniform(5.0, 20.0);
+    spec.rsu_every = rng.uniform_int(0, 1) == 0 ? 2 : 3;
+    spec.buildings = rng.uniform_int(0, 1) == 1;
+    spec.shadowing_sigma_db = rng.uniform(0.0, 4.0);
+    spec.obu_cam_interval = SimTime::milliseconds(rng.uniform_int(40, 100));
+    // Bias towards small cells so several topologies span many domains.
+    spec.grid_cell_m = rng.uniform_int(0, 1) == 0 ? 0.0 : rng.uniform(30.0, 90.0);
+    const int partitions = i % 2 == 0 ? 2 : 8;
+
+    const auto duration = SimTime::milliseconds(700);
+    const std::uint64_t serial = run_city_fingerprint(spec, 1, duration);
+    const std::uint64_t partitioned = run_city_fingerprint(spec, partitions, duration);
+    EXPECT_EQ(serial, partitioned)
+        << "topology " << i << " (seed " << spec.seed << ", " << spec.vehicles << " vehicles, "
+        << partitions << " partitions) diverged from serial";
+    if (serial != partitioned) break;  // one broken topology is enough signal
+  }
+}
+
+TEST(PartitionEquivalence, DomainMigrationStressMatchesSerial) {
+  // Fast movers over deliberately tiny grid cells: stations cross domain
+  // boundaries every couple of seconds, exercising the sharded budget
+  // cache's orphaned-entry path and the per-window domain re-mapping.
+  CitySpec spec;
+  spec.seed = 97;
+  spec.blocks_x = 4;
+  spec.blocks_y = 3;
+  spec.block_m = 90.0;
+  spec.vehicles = 12;
+  spec.vehicle_speed_mps = 25.0;
+  spec.vehicle_speed_jitter_mps = 5.0;
+  spec.obu_cam_interval = SimTime::milliseconds(50);
+  spec.grid_cell_m = 30.0;
+
+  const auto duration = SimTime::seconds(3);
+  const std::uint64_t serial = run_city_fingerprint(spec, 1, duration);
+  EXPECT_EQ(serial, run_city_fingerprint(spec, 2, duration));
+  EXPECT_EQ(serial, run_city_fingerprint(spec, 8, duration));
+}
+
+TEST(PartitionEquivalence, PartitionedPathActuallyEngages) {
+  // Guard against the equivalence suite passing vacuously: with a dense
+  // topology (every CAM reaches >= the parallel fan-out threshold of
+  // candidates) the partitioned begin/finish phases must actually run.
+  CitySpec spec;
+  spec.seed = 97;
+  spec.blocks_x = 4;
+  spec.blocks_y = 3;
+  spec.block_m = 90.0;
+  spec.vehicles = 12;
+  spec.obu_cam_interval = SimTime::milliseconds(50);
+  spec.grid_cell_m = 30.0;
+
+  const auto run_phases = [&](int partitions) {
+    CitySpec s = spec;
+    s.partitions = partitions;
+    scenario::CityScenario city{s};
+    city.start();
+    city.scheduler().run_until(SimTime::milliseconds(500));
+    return city.medium().partitioned_phases();
+  };
+  EXPECT_EQ(run_phases(1), 0u);
+  EXPECT_GT(run_phases(8), 0u);
+}
+
+TEST(PartitionEquivalence, CitySpecFormatParseRoundTrips) {
+  CitySpec spec = delivery_city();
+  spec.partitions = 8;
+  spec.grid_cell_m = 42.5;
+  spec.seed = 0xDEADBEEFCAFEull;
+  spec.shadowing_sigma_db = 3.25;
+  spec.rsu_cam_interval = SimTime::milliseconds(80);
+  spec.enable_kaf = true;
+
+  const CitySpec back = scenario::parse_city_spec(scenario::format_city_spec(spec));
+  EXPECT_EQ(back.seed, spec.seed);
+  EXPECT_EQ(back.blocks_x, spec.blocks_x);
+  EXPECT_EQ(back.block_m, spec.block_m);
+  EXPECT_EQ(back.partitions, spec.partitions);
+  EXPECT_EQ(back.grid_cell_m, spec.grid_cell_m);
+  EXPECT_EQ(back.shadowing_sigma_db, spec.shadowing_sigma_db);
+  EXPECT_EQ(back.rsu_cam_interval, spec.rsu_cam_interval);
+  EXPECT_EQ(back.enable_kaf, spec.enable_kaf);
+  EXPECT_EQ(back.path_loss_exponent, spec.path_loss_exponent);
+  // Idempotence: formatting the round-tripped spec reproduces the text.
+  EXPECT_EQ(scenario::format_city_spec(back), scenario::format_city_spec(spec));
+}
+
+TEST(PartitionEquivalence, RstPartitionsEnvironmentKnob) {
+  ::unsetenv("RST_PARTITIONS");
+  EXPECT_EQ(core::experiment_partitions_from_env(3), 3u);
+  ::setenv("RST_PARTITIONS", "8", 1);
+  EXPECT_EQ(core::experiment_partitions_from_env(3), 8u);
+  ::setenv("RST_PARTITIONS", "junk", 1);
+  EXPECT_EQ(core::experiment_partitions_from_env(2), 2u);
+  ::setenv("RST_PARTITIONS", "0", 1);
+  EXPECT_EQ(core::experiment_partitions_from_env(2), 2u);
+  ::unsetenv("RST_PARTITIONS");
+
+  // The spec-level resolution: explicit partitions win over the env.
+  ::setenv("RST_PARTITIONS", "4", 1);
+  CitySpec spec = cbr_city();
+  spec.vehicles = 2;
+  {
+    scenario::CityScenario city{spec};
+    ASSERT_NE(city.partition_engine(), nullptr);
+    EXPECT_EQ(city.resolved_partitions(), 4);
+  }
+  spec.partitions = 1;
+  {
+    scenario::CityScenario city{spec};
+    EXPECT_EQ(city.partition_engine(), nullptr);
+    EXPECT_EQ(city.resolved_partitions(), 1);
+  }
+  ::unsetenv("RST_PARTITIONS");
+}
+
+}  // namespace
+}  // namespace rst

@@ -133,6 +133,81 @@ TEST(Scheduler, CancelledEventsDoNotAdvanceClockInRunUntil) {
   EXPECT_EQ(sched.pending_events(), 0u);
 }
 
+TEST(Scheduler, SameTimestampOrderSpansPostAndScheduleInterleavings) {
+  // The FIFO-within-timestamp guarantee is per insertion, not per entry
+  // point: tracked schedule_at, fire-and-forget post_at and relative
+  // schedule_in/post_in all share one sequence counter.
+  Scheduler sched;
+  std::vector<int> order;
+  sched.post_at(5_ms, [&] { order.push_back(0); });
+  sched.schedule_at(5_ms, [&] { order.push_back(1); });
+  sched.post_in(5_ms, [&] { order.push_back(2); });
+  EventHandle tracked = sched.schedule_in(5_ms, [&] { order.push_back(3); });
+  sched.post_at(5_ms, [&] { order.push_back(4); });
+  (void)tracked;
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, CancellingMiddleOfSameTimestampBatchPreservesTheRest) {
+  Scheduler sched;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 6; ++i) {
+    handles.push_back(sched.schedule_at(5_ms, [&order, i] { order.push_back(i); }));
+  }
+  handles[1].cancel();
+  handles[4].cancel();
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 3, 5}));
+  EXPECT_EQ(sched.executed_events(), 4u);
+}
+
+TEST(Scheduler, CancelFromWithinSameTimestampBatch) {
+  // An earlier event at the same timestamp cancels a later one: the later
+  // callback must not fire even though it was already due.
+  Scheduler sched;
+  std::vector<int> order;
+  EventHandle victim = sched.schedule_at(5_ms, [&] { order.push_back(99); });
+  sched.post_at(5_ms, [&] {
+    order.push_back(0);
+    victim.cancel();
+  });
+  // Scheduled after the canceller but before the victim fires — still runs.
+  sched.post_at(5_ms, [&] { order.push_back(1); });
+  sched.run();
+  // victim was scheduled first, so it fires before its canceller: cancel
+  // after fire is a safe no-op and the batch order is unchanged.
+  EXPECT_EQ(order, (std::vector<int>{99, 0, 1}));
+
+  // Now the canceller is scheduled first and the victim second.
+  Scheduler sched2;
+  order.clear();
+  EventHandle victim2;
+  sched2.post_at(5_ms, [&] {
+    order.push_back(0);
+    victim2.cancel();
+  });
+  victim2 = sched2.schedule_at(5_ms, [&] { order.push_back(99); });
+  sched2.run();
+  EXPECT_EQ(order, (std::vector<int>{0}));
+  EXPECT_EQ(sched2.executed_events(), 1u);
+}
+
+TEST(Scheduler, RescheduleAtSameTimestampFromRunningEventGoesToBatchTail) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.post_at(5_ms, [&] {
+    order.push_back(0);
+    // now() == 5 ms: scheduling *at* now from inside an event is legal and
+    // must append behind the rest of the 5 ms batch.
+    sched.post_at(5_ms, [&] { order.push_back(2); });
+  });
+  sched.post_at(5_ms, [&] { order.push_back(1); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
 TEST(Trace, RecordAndFilteredLookup) {
   Trace trace;
   trace.record(1_ms, "den.900", "DENM sent action=900/1");
