@@ -14,6 +14,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "rst/core/experiment.hpp"
@@ -27,9 +29,38 @@ double wall_ms_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
 }
 
+/// Coverage raster wall-clock for one obstacle-index setting, best of
+/// `reps` so scheduler noise cannot fake a regression. Returns the map
+/// fingerprint and index engagement through the out-params.
+double raster_ms(const scenario::CitySpec& spec, int reps, std::uint64_t* fingerprint,
+                 std::uint64_t* index_queries) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    scenario::CityScenario city{spec};
+    const double step = 4.0 * static_cast<double>(spec.blocks_x * spec.blocks_x) / 16.0;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto map = scenario::measure_coverage(city, 0, step);
+    const double ms = wall_ms_since(t0);
+    if (ms < best) best = ms;
+    *fingerprint = map.fingerprint();
+    *index_queries = city.obstacles() != nullptr ? city.obstacles()->index_queries() : 0;
+  }
+  return best;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --buildings-scale N: top of the obstacle-index scaling sweep (the wall
+  // count grows linearly with the scale; scales run 1, 4, 16, ... up to N).
+  long buildings_scale = 64;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--buildings-scale") == 0 && i + 1 < argc) {
+      buildings_scale = std::strtol(argv[++i], nullptr, 10);
+    }
+  }
+  if (buildings_scale < 1) buildings_scale = 1;
+
   const unsigned threads = core::experiment_threads_from_env();
   const unsigned partitions = core::experiment_partitions_from_env(1);
   std::printf("[threads: %u] [partitions: %u]\n\n", core::resolve_experiment_threads(threads),
@@ -155,6 +186,62 @@ int main() {
     check("far cluster fully delivered via carry + KAF",
           report.far_delivered == report.far_targets);
     check("store-carry-forward produced KAF retransmissions", report.kaf_retransmissions > 0);
+  }
+
+  // --- Obstacle index: walls vs wall-clock scaling curve --------------------
+  //
+  // One coverage raster per scale, indexed vs brute-force, over cities
+  // whose building count grows linearly with the scale while the raster
+  // step grows to hold the sample count roughly constant — so the curve
+  // isolates the per-query wall-scan cost. Fingerprints must match bit for
+  // bit at every scale, the counters must prove the indexed path really
+  // ran, and at the top scale the index must win by >= 3x (the CI gate).
+  {
+    std::printf("\n=== Obstacle index scaling (up to %ldx buildings) ===\n", buildings_scale);
+    std::printf("  %7s  %6s  %10s  %10s  %8s\n", "scale", "walls", "indexed ms", "brute ms",
+                "speedup");
+    double top_speedup = 0.0;
+    long top_scale = 1;
+    for (long scale = 1; scale <= buildings_scale; scale *= 4) {
+      scenario::CitySpec os;
+      os.seed = spec.seed;
+      // 4x4 blocks at scale 1; block count (hence buildings and walls)
+      // grows linearly with the scale.
+      int side = 4;
+      for (long s = scale; s > 1; s /= 4) side *= 2;
+      os.blocks_x = side;
+      os.blocks_y = side;
+      os.vehicles = 0;
+      os.max_rsus = 1;
+      std::uint64_t fp_indexed = 0;
+      std::uint64_t fp_brute = 0;
+      std::uint64_t queries_indexed = 0;
+      std::uint64_t queries_brute = 0;
+      os.obstacle_index = true;
+      const double ms_indexed = raster_ms(os, 3, &fp_indexed, &queries_indexed);
+      os.obstacle_index = false;
+      const double ms_brute = raster_ms(os, 3, &fp_brute, &queries_brute);
+      const double speedup = ms_brute / ms_indexed;
+      const std::size_t walls = static_cast<std::size_t>(side) * side * 4;
+      std::printf("  %6ldx  %6zu  %10.2f  %10.2f  %7.2fx\n", scale, walls, ms_indexed, ms_brute,
+                  speedup);
+      check("indexed/brute coverage fingerprints identical", fp_indexed == fp_brute);
+      check("indexed raster engaged the ray index", queries_indexed > 0);
+      check("brute raster never touched the index", queries_brute == 0);
+      if (scale >= top_scale) {
+        top_scale = scale;
+        top_speedup = speedup;
+      }
+    }
+    // The >= 3x acceptance gate only makes sense once the wall count
+    // dwarfs the per-sample fixed costs; it engages from the 256x scale
+    // (16384 walls, the CI bench lane's setting) where the margin is
+    // comfortably past noise. Smaller sweeps still enforce the
+    // fingerprint and engagement checks at every scale.
+    if (buildings_scale >= 256) {
+      std::printf("  top-scale speedup %.2fx\n", top_speedup);
+      check("obstacle index >= 3x faster at the largest building count", top_speedup >= 3.0);
+    }
   }
 
   // --- Determinism: the sweep fingerprint must not depend on threads --------

@@ -206,6 +206,59 @@ void BM_MediumBroadcast(benchmark::State& state) {
 }
 BENCHMARK(BM_MediumBroadcast)->Arg(2)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 
+void BM_ObstacleLoss(benchmark::State& state) {
+  // One ObstacleShadowingModel::loss_db evaluation over a square building
+  // grid (four walls per building). Args: wall count in {16, 256, 4096},
+  // indexed (1) vs brute-force (0), deep-NLOS diagonal (1) vs short LOS
+  // street ray (0). The indexed/brute answers are bit-identical (checked
+  // here per run); only the wall-clock should move.
+  const auto n_walls = static_cast<std::size_t>(state.range(0));
+  const bool indexed = state.range(1) != 0;
+  const bool deep_nlos = state.range(2) != 0;
+
+  const std::size_t buildings = n_walls / 4;
+  const auto side = static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(buildings))));
+  std::vector<rst::dot11p::Wall> walls;
+  walls.reserve(n_walls);
+  for (std::size_t b = 0; b < buildings; ++b) {
+    const double x0 = static_cast<double>(b % side) * 100.0 + 20.0;
+    const double y0 = static_cast<double>(b / side) * 100.0 + 20.0;
+    const double x1 = x0 + 60.0;
+    const double y1 = y0 + 60.0;
+    walls.push_back({{x0, y0}, {x1, y0}, 12.0});
+    walls.push_back({{x1, y0}, {x1, y1}, 12.0});
+    walls.push_back({{x1, y1}, {x0, y1}, 12.0});
+    walls.push_back({{x0, y1}, {x0, y0}, 12.0});
+  }
+  const double extent = static_cast<double>(side) * 100.0;
+
+  auto base = std::make_unique<rst::dot11p::LogDistanceModel>(
+      rst::dot11p::LogDistanceModel::its_g5(2.8));
+  const rst::dot11p::ObstacleShadowingModel model{std::move(base), walls, indexed};
+  auto check_base = std::make_unique<rst::dot11p::LogDistanceModel>(
+      rst::dot11p::LogDistanceModel::its_g5(2.8));
+  const rst::dot11p::ObstacleShadowingModel check{std::move(check_base), std::move(walls),
+                                                  !indexed};
+
+  // Deep NLOS: the full-map diagonal crosses every building row. LOS: a
+  // short hop along the open street between building rows.
+  const rst::geo::Vec2 tx = deep_nlos ? rst::geo::Vec2{0.0, 0.0} : rst::geo::Vec2{0.0, 5.0};
+  const rst::geo::Vec2 rx =
+      deep_nlos ? rst::geo::Vec2{extent, extent} : rst::geo::Vec2{90.0, 5.0};
+  if (model.loss_db(tx, rx) != check.loss_db(tx, rx)) {
+    state.SkipWithError("indexed/brute obstacle loss diverged");
+    return;
+  }
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.loss_db(tx, rx));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObstacleLoss)
+    ->ArgsProduct({{16, 256, 4096}, {0, 1}, {0, 1}})
+    ->ArgNames({"walls", "indexed", "nlos"});
+
 void BM_TraceRecordTyped(benchmark::State& state) {
   // Steady-state cost of one typed trace event (the instrumentation tax on
   // every pipeline stage): a POD write into the pre-sized ring, no strings.

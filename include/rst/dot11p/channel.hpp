@@ -1,10 +1,15 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
 #include "rst/geo/vec2.hpp"
 #include "rst/sim/random.hpp"
+
+namespace rst::geo {
+class ObstacleGrid;
+}
 
 namespace rst::dot11p {
 
@@ -86,14 +91,27 @@ struct Wall {
 /// Decorates a base model with obstacle (NLOS) losses from wall segments.
 ///
 /// City-scale obstacle maps (the scenario generator emits four walls per
-/// building) make this the inner loop of every link-budget evaluation, so
-/// each wall's axis-aligned bounding box is precomputed and checked before
-/// the exact segment-intersection test: a LOS ray whose box does not touch
-/// a wall's box cannot cross it. Same results, ~one compare-pair per
-/// distant wall instead of four orientation products.
+/// building) make this the inner loop of every link-budget evaluation. By
+/// default the walls are held in a `geo::ObstacleGrid` ray index: a query
+/// walks only the grid cells along the tx-rx ray, deduplicates the walls it
+/// finds there and applies the same bounding-box reject and exact
+/// `segments_intersect` test, in the same ascending-wall order, as the
+/// brute-force scan — so `loss_db`/`is_nlos`/`walls_crossed` are
+/// bit-identical to the O(walls) path at O(cells-along-ray) cost
+/// (obstacle_index_test proves it on random soups and adversarial rays).
+/// `use_index = false` keeps the brute-force scan, as the equivalence
+/// baseline and for tiny wall sets.
+///
+/// The index is immutable after construction and queries use per-thread
+/// scratch only, so the medium's domain-parallel phases may evaluate link
+/// budgets through this model concurrently without locks.
 class ObstacleShadowingModel final : public PathLossModel {
  public:
-  ObstacleShadowingModel(std::unique_ptr<PathLossModel> base, std::vector<Wall> walls);
+  /// `index_cell_m == 0` derives the grid cell size from the wall geometry
+  /// (`geo::ObstacleGrid::derive_cell_size`).
+  ObstacleShadowingModel(std::unique_ptr<PathLossModel> base, std::vector<Wall> walls,
+                         bool use_index = true, double index_cell_m = 0.0);
+  ~ObstacleShadowingModel() override;
   [[nodiscard]] double loss_db(geo::Vec2 tx, geo::Vec2 rx) const override;
   /// Walls only ever add loss, so the base model's bound stays valid.
   [[nodiscard]] double min_loss_db(double distance_m) const override;
@@ -104,19 +122,44 @@ class ObstacleShadowingModel final : public PathLossModel {
   /// Walls crossed by the segment tx-rx (the NLOS "depth" of a link).
   [[nodiscard]] std::size_t walls_crossed(geo::Vec2 tx, geo::Vec2 rx) const;
 
+  /// Total loss and NLOS depth in one wall pass, with the identical
+  /// accumulation order as `loss_db` — the memoizable unit of work behind
+  /// the medium's epoch-validated NLOS memo.
+  struct LossDepth {
+    double loss_db{0.0};
+    std::uint32_t depth{0};
+  };
+  [[nodiscard]] LossDepth loss_and_depth(geo::Vec2 tx, geo::Vec2 rx) const;
+
   [[nodiscard]] const std::vector<Wall>& walls() const { return walls_; }
+  [[nodiscard]] bool index_enabled() const { return grid_ != nullptr; }
+  /// Null when the model runs brute force.
+  [[nodiscard]] const geo::ObstacleGrid* index() const { return grid_.get(); }
+  /// Queries served through the ray index so far — the engagement proof for
+  /// benches and CI (relaxed counter: queries may come from domain-phase
+  /// workers). Always 0 in brute-force mode.
+  [[nodiscard]] std::uint64_t index_queries() const {
+    return index_queries_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct WallBox {
     double min_x, min_y, max_x, max_y;
   };
 
+  template <typename OnWall>
+  void for_each_crossing(geo::Vec2 tx, geo::Vec2 rx, OnWall&& on_wall) const;
+
   std::unique_ptr<PathLossModel> base_;
   std::vector<Wall> walls_;
   std::vector<WallBox> boxes_;  // parallel to walls_
+  std::unique_ptr<const geo::ObstacleGrid> grid_;  // null = brute force
+  mutable std::atomic<std::uint64_t> index_queries_{0};
 };
 
-/// True when segments ab and cd properly intersect (shared endpoints count).
+/// True when segments ab and cd intersect (shared endpoints, T-touches and
+/// collinear overlaps count; see geo::segments_intersect for the pinned
+/// contract — this forwards to it).
 [[nodiscard]] bool segments_intersect(geo::Vec2 a, geo::Vec2 b, geo::Vec2 c, geo::Vec2 d);
 
 /// Small-scale fading applied per transmission per receiver.

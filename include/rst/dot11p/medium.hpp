@@ -89,6 +89,11 @@ class Medium {
     /// Link-budget cache performance (per-link mode only).
     std::uint64_t budget_cache_hits{0};
     std::uint64_t budget_cache_misses{0};
+    /// Epoch-validated NLOS memo performance (legacy mode with an
+    /// ObstacleShadowingModel only — the per-link path's budget cache
+    /// already memoizes the full loss there). Both 0 otherwise.
+    std::uint64_t nlos_memo_hits{0};
+    std::uint64_t nlos_memo_misses{0};
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -170,6 +175,18 @@ class Medium {
     double mean_dbm;
   };
 
+  /// Legacy-path memo of an obstacle model evaluation for one (tx, rx) slot
+  /// pair, valid while both slots' motion epochs are unchanged. Stores the
+  /// *finished* total loss — re-associating a cached base with cached wall
+  /// terms would change the floating-point sum and break bit-identity with
+  /// the unmemoized walk.
+  struct CachedNlos {
+    std::uint32_t tx_epoch;
+    std::uint32_t rx_epoch;
+    double loss_db;
+    std::uint32_t depth;
+  };
+
   /// Verdict of one receiver's reception decision, precomputable because
   /// every input (snapshot powers, interference tallies, tx history,
   /// counter-keyed PER draw) is fixed when the finish event starts.
@@ -197,6 +214,12 @@ class Medium {
   void maybe_reindex();
   /// Deterministic link budget via the epoch-validated (tx, rx) cache.
   [[nodiscard]] double cached_budget_dbm(std::uint32_t tx_slot, std::uint32_t rx_slot);
+  /// Legacy-path deterministic receive power. When the channel carries an
+  /// obstacle model, the wall walk is served through the epoch-validated
+  /// NLOS memo so static tx/rx pairs never re-walk; otherwise identical to
+  /// `mean_rx_power_dbm`.
+  [[nodiscard]] double legacy_mean_dbm(Radio* tx, std::uint32_t tx_slot, Radio* rx,
+                                       std::uint32_t rx_slot);
   /// Admits one receiver into transmission `t` (power draw, CS busy,
   /// interference accounting). Shared by the culled and full-fan-out
   /// per-link paths.
@@ -250,6 +273,10 @@ class Medium {
   std::vector<std::shared_ptr<Transmission>> transmissions_;  // legacy scan
   std::vector<std::shared_ptr<Transmission>> pool_;  // per-link reuse
   std::unordered_map<std::uint64_t, CachedBudget> budget_cache_;
+  /// Legacy-path NLOS memo, keyed (tx_slot << 32) | rx_slot. Non-null
+  /// obstacle_model_ (set once in the constructor) is its enable switch.
+  const ObstacleShadowingModel* obstacle_model_{nullptr};
+  std::unordered_map<std::uint64_t, CachedNlos> nlos_cache_;
   std::unique_ptr<geo::SpatialGrid> grid_;
   std::vector<std::uint32_t> scratch_candidates_;
   sim::SimTime last_reindex_{};

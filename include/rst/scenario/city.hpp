@@ -77,6 +77,10 @@ struct CitySpec {
   double tx_power_dbm{23.0};
   /// Dense-fleet medium scaling (PR 3): per-link streams + grid culling.
   bool spatial_index{true};
+  /// Ray-index the building walls (geo::ObstacleGrid); off falls back to
+  /// the brute-force wall scan. Bit-identical either way — the knob exists
+  /// for equivalence testing and tiny maps.
+  bool obstacle_index{true};
   double power_floor_dbm{-110.0};
   /// Culling/partition grid cell size in metres; 0 derives one hearing
   /// radius from the power floor. One knob for both the spatial-index

@@ -103,6 +103,11 @@ const std::map<std::string, Entry>& registry() {
           c.medium_spatial_index = parse_bool(v, "medium_spatial_index");
         },
         "spatial-grid receiver culling (implies per-link streams)"}},
+      {"obstacle_index",
+       {[](TestbedConfig& c, const std::string& v) {
+          c.obstacle_index = parse_bool(v, "obstacle_index");
+        },
+        "ray-index the obstacle walls (off = brute-force scan)"}},
       {"medium_power_floor_dbm",
        {[](TestbedConfig& c, const std::string& v) {
           c.medium_power_floor_dbm = parse_double(v, "medium_power_floor_dbm");

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "rst/geo/obstacle_grid.hpp"
+
 namespace rst::dot11p {
 
 namespace {
@@ -58,34 +60,27 @@ double DualSlopeModel::loss_db(geo::Vec2 tx, geo::Vec2 rx) const {
 }
 
 bool segments_intersect(geo::Vec2 a, geo::Vec2 b, geo::Vec2 c, geo::Vec2 d) {
-  const auto orient = [](geo::Vec2 p, geo::Vec2 q, geo::Vec2 r) {
-    const double v = (q - p).cross(r - p);
-    return v > 0 ? 1 : (v < 0 ? -1 : 0);
-  };
-  const int o1 = orient(a, b, c);
-  const int o2 = orient(a, b, d);
-  const int o3 = orient(c, d, a);
-  const int o4 = orient(c, d, b);
-  if (o1 != o2 && o3 != o4) return true;
-  const auto on_segment = [](geo::Vec2 p, geo::Vec2 q, geo::Vec2 r) {
-    return std::min(p.x, r.x) <= q.x && q.x <= std::max(p.x, r.x) &&
-           std::min(p.y, r.y) <= q.y && q.y <= std::max(p.y, r.y);
-  };
-  if (o1 == 0 && on_segment(a, c, b)) return true;
-  if (o2 == 0 && on_segment(a, d, b)) return true;
-  if (o3 == 0 && on_segment(c, a, d)) return true;
-  if (o4 == 0 && on_segment(c, b, d)) return true;
-  return false;
+  return geo::segments_intersect(a, b, c, d);
 }
 
-ObstacleShadowingModel::ObstacleShadowingModel(std::unique_ptr<PathLossModel> base, std::vector<Wall> walls)
+ObstacleShadowingModel::ObstacleShadowingModel(std::unique_ptr<PathLossModel> base,
+                                               std::vector<Wall> walls, bool use_index,
+                                               double index_cell_m)
     : base_{std::move(base)}, walls_{std::move(walls)} {
   boxes_.reserve(walls_.size());
   for (const auto& w : walls_) {
     boxes_.push_back({std::min(w.a.x, w.b.x), std::min(w.a.y, w.b.y),
                       std::max(w.a.x, w.b.x), std::max(w.a.y, w.b.y)});
   }
+  if (use_index && !walls_.empty()) {
+    std::vector<geo::Segment> segments;
+    segments.reserve(walls_.size());
+    for (const auto& w : walls_) segments.push_back({w.a, w.b});
+    grid_ = std::make_unique<const geo::ObstacleGrid>(std::move(segments), index_cell_m);
+  }
 }
+
+ObstacleShadowingModel::~ObstacleShadowingModel() = default;
 
 namespace {
 struct RayBox {
@@ -98,30 +93,42 @@ struct RayBox {
 };
 }  // namespace
 
-bool ObstacleShadowingModel::is_nlos(geo::Vec2 tx, geo::Vec2 rx) const {
+/// Visits the index of every wall crossing ray tx-rx in ascending wall
+/// order, through the grid when enabled or a full scan otherwise. Both
+/// paths apply the same box reject and exact test in the same order, so any
+/// crossing-order-sensitive accumulation downstream is path-invariant.
+template <typename OnWall>
+void ObstacleShadowingModel::for_each_crossing(geo::Vec2 tx, geo::Vec2 rx, OnWall&& on_wall) const {
   const RayBox ray{tx, rx};
-  for (std::size_t i = 0; i < walls_.size(); ++i) {
+  const auto crosses = [&](std::size_t i) {
     const auto& box = boxes_[i];
     if (box.max_x < ray.min_x || box.min_x > ray.max_x || box.max_y < ray.min_y ||
         box.min_y > ray.max_y) {
-      continue;
+      return false;
     }
-    if (segments_intersect(tx, rx, walls_[i].a, walls_[i].b)) return true;
+    return geo::segments_intersect(tx, rx, walls_[i].a, walls_[i].b);
+  };
+  if (grid_) {
+    index_queries_.fetch_add(1, std::memory_order_relaxed);
+    grid_->for_each_candidate(tx, rx, [&](std::uint32_t i) {
+      if (crosses(i)) on_wall(static_cast<std::size_t>(i));
+    });
+  } else {
+    for (std::size_t i = 0; i < walls_.size(); ++i) {
+      if (crosses(i)) on_wall(i);
+    }
   }
-  return false;
+}
+
+bool ObstacleShadowingModel::is_nlos(geo::Vec2 tx, geo::Vec2 rx) const {
+  bool nlos = false;
+  for_each_crossing(tx, rx, [&](std::size_t) { nlos = true; });
+  return nlos;
 }
 
 std::size_t ObstacleShadowingModel::walls_crossed(geo::Vec2 tx, geo::Vec2 rx) const {
-  const RayBox ray{tx, rx};
   std::size_t crossed = 0;
-  for (std::size_t i = 0; i < walls_.size(); ++i) {
-    const auto& box = boxes_[i];
-    if (box.max_x < ray.min_x || box.min_x > ray.max_x || box.max_y < ray.min_y ||
-        box.min_y > ray.max_y) {
-      continue;
-    }
-    if (segments_intersect(tx, rx, walls_[i].a, walls_[i].b)) ++crossed;
-  }
+  for_each_crossing(tx, rx, [&](std::size_t) { ++crossed; });
   return crossed;
 }
 
@@ -131,16 +138,19 @@ double ObstacleShadowingModel::min_loss_db(double distance_m) const {
 
 double ObstacleShadowingModel::loss_db(geo::Vec2 tx, geo::Vec2 rx) const {
   double loss = base_->loss_db(tx, rx);
-  const RayBox ray{tx, rx};
-  for (std::size_t i = 0; i < walls_.size(); ++i) {
-    const auto& box = boxes_[i];
-    if (box.max_x < ray.min_x || box.min_x > ray.max_x || box.max_y < ray.min_y ||
-        box.min_y > ray.max_y) {
-      continue;
-    }
-    if (segments_intersect(tx, rx, walls_[i].a, walls_[i].b)) loss += walls_[i].obstruction_loss_db;
-  }
+  for_each_crossing(tx, rx, [&](std::size_t i) { loss += walls_[i].obstruction_loss_db; });
   return loss;
+}
+
+ObstacleShadowingModel::LossDepth ObstacleShadowingModel::loss_and_depth(geo::Vec2 tx,
+                                                                         geo::Vec2 rx) const {
+  LossDepth out;
+  out.loss_db = base_->loss_db(tx, rx);
+  for_each_crossing(tx, rx, [&](std::size_t i) {
+    out.loss_db += walls_[i].obstruction_loss_db;
+    ++out.depth;
+  });
+  return out;
 }
 
 }  // namespace rst::dot11p

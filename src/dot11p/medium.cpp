@@ -41,6 +41,9 @@ Medium::Medium(sim::Scheduler& sched, sim::RandomStream rng, ChannelModel channe
       reindex_period_{channel_.reindex_period > sim::SimTime::zero() ? channel_.reindex_period
                                                                      : kDefaultReindexPeriod} {
   channel_.per_link_streams = per_link_;  // spatial_index implies per-link draws
+  // Enables the legacy-path NLOS memo; the per-link path already memoizes
+  // the full loss (walls included) in its epoch-validated budget cache.
+  obstacle_model_ = dynamic_cast<const ObstacleShadowingModel*>(channel_.path_loss.get());
 }
 
 Medium::~Medium() = default;
@@ -202,6 +205,33 @@ double Medium::cached_budget_dbm(std::uint32_t tx_slot, std::uint32_t rx_slot) {
   return entry.mean_dbm;
 }
 
+double Medium::legacy_mean_dbm(Radio* tx, std::uint32_t tx_slot, Radio* rx,
+                               std::uint32_t rx_slot) {
+  if (obstacle_model_ == nullptr) return mean_rx_power_dbm(*tx, *rx);
+  // refresh_slot is grid-agnostic: with no spatial grid it only re-records
+  // the position and bumps the epoch, which is exactly the invalidation
+  // signal the memo needs.
+  const geo::Vec2 tx_pos = refresh_slot(tx_slot);
+  const geo::Vec2 rx_pos = refresh_slot(rx_slot);
+  const std::uint64_t key = (static_cast<std::uint64_t>(tx_slot) << 32) | rx_slot;
+  auto [it, inserted] = nlos_cache_.try_emplace(key);
+  CachedNlos& entry = it->second;
+  const Slot& ts = slots_[tx_slot];
+  const Slot& rs = slots_[rx_slot];
+  if (!inserted && entry.tx_epoch == ts.epoch && entry.rx_epoch == rs.epoch) {
+    ++stats_.nlos_memo_hits;
+  } else {
+    ++stats_.nlos_memo_misses;
+    const ObstacleShadowingModel::LossDepth ld = obstacle_model_->loss_and_depth(tx_pos, rx_pos);
+    entry.tx_epoch = ts.epoch;
+    entry.rx_epoch = rs.epoch;
+    entry.loss_db = ld.loss_db;
+    entry.depth = ld.depth;
+  }
+  return tx->config().tx_power_dbm + tx->config().antenna_gain_dbi +
+         rx->config().antenna_gain_dbi - entry.loss_db;
+}
+
 std::uint64_t Medium::link_key(std::uint64_t tx_mac, std::uint64_t rx_mac,
                                std::uint64_t seq) const {
   return hash_combine(hash_combine(hash_combine(0, tx_mac), rx_mac), seq);
@@ -300,7 +330,7 @@ void Medium::begin_transmission_legacy(const std::shared_ptr<Transmission>& t) {
 
   for (Radio* rx : radios_) {
     if (rx == tx) continue;
-    double p = mean_rx_power_dbm(*tx, *rx);
+    double p = legacy_mean_dbm(tx, t->tx_slot, rx, rx->medium_slot());
     if (channel_.shadowing_sigma_db > 0) {
       p += shadow_rng_.normal(0.0, channel_.shadowing_sigma_db);
     }

@@ -126,6 +126,8 @@ CitySpec parse_city_spec(const std::string& text) {
       spec.tx_power_dbm = parse_spec_double(value, key);
     } else if (key == "spatial_index") {
       spec.spatial_index = parse_spec_bool(value, key);
+    } else if (key == "obstacle_index") {
+      spec.obstacle_index = parse_spec_bool(value, key);
     } else if (key == "power_floor_dbm") {
       spec.power_floor_dbm = parse_spec_double(value, key);
     } else if (key == "grid_cell_m") {
@@ -165,6 +167,7 @@ std::vector<std::pair<std::string, std::string>> city_spec_keys() {
       {"shadowing_sigma_db", "log-normal shadowing sigma"},
       {"tx_power_dbm", "station transmit power"},
       {"spatial_index", "grid receiver culling (PR 3 medium)"},
+      {"obstacle_index", "ray-index building walls (off = brute-force scan)"},
       {"power_floor_dbm", "per-link out-of-range floor"},
       {"grid_cell_m", "culling/partition grid cell size (0 = derive)"},
       {"partitions", "medium partition domains (0 = RST_PARTITIONS env)"},
@@ -217,6 +220,7 @@ std::string format_city_spec(const CitySpec& spec) {
   num("shadowing_sigma_db", spec.shadowing_sigma_db);
   num("tx_power_dbm", spec.tx_power_dbm);
   boolean("spatial_index", spec.spatial_index);
+  boolean("obstacle_index", spec.obstacle_index);
   num("power_floor_dbm", spec.power_floor_dbm);
   num("grid_cell_m", spec.grid_cell_m);
   integer("partitions", spec.partitions);
@@ -402,8 +406,8 @@ CityScenario::CityScenario(CitySpec spec)
   if (net_.building_walls.empty()) {
     channel.path_loss = std::shared_ptr<const dot11p::PathLossModel>{std::move(base)};
   } else {
-    auto obstacles =
-        std::make_shared<const dot11p::ObstacleShadowingModel>(std::move(base), net_.building_walls);
+    auto obstacles = std::make_shared<const dot11p::ObstacleShadowingModel>(
+        std::move(base), net_.building_walls, spec_.obstacle_index);
     obstacles_ = obstacles.get();
     channel.path_loss = std::move(obstacles);
   }
