@@ -67,13 +67,20 @@ class CellularNetwork {
   CellularEndpoint& create_endpoint(const std::string& name);
   [[nodiscard]] CellularEndpoint* endpoint(const std::string& name);
 
-  /// Sends `payload` from `from` to `to`; drops silently on loss.
+  /// Sends `payload` from `from` to `to`; drops silently on loss or when
+  /// `to` is unknown / has no receive callback (see Stats::undeliverable).
   void send(const std::string& from, const std::string& to, std::vector<std::uint8_t> payload);
 
+  /// Delivery accounting. At any quiescent point (no payload in flight)
+  /// `sent == delivered + lost + undeliverable`; `latency_ms` samples only
+  /// completed deliveries (never lost or undeliverable payloads).
   struct Stats {
     std::uint64_t sent{0};
     std::uint64_t delivered{0};
     std::uint64_t lost{0};
+    /// Addressed to a missing endpoint or one without a receive callback
+    /// (checked at send time and again at delivery time).
+    std::uint64_t undeliverable{0};
     sim::RunningStats latency_ms{};
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }

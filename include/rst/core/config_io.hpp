@@ -37,4 +37,22 @@ std::size_t for_each_spec_override(
 [[nodiscard]] std::int64_t parse_spec_int(const std::string& value, const std::string& key);
 [[nodiscard]] bool parse_spec_bool(const std::string& value, const std::string& key);
 
+/// %.17g rendering — the shortest printf format that round-trips every
+/// finite double through strtod/stod exactly. All spec writers (CitySpec
+/// files, fault clauses, campaign canonicalization) share this one helper
+/// so formatted specs re-parse to bit-identical values.
+[[nodiscard]] std::string format_spec_double(double v);
+
+/// Canonical form of a `key = value` spec: comments and blank lines
+/// dropped, keys and values stripped and re-joined as `key = value\n`,
+/// keys sorted (stable sort, so repeated keys — e.g. `fault` clauses —
+/// keep their relative order and last-wins semantics), and any value that
+/// parses completely as a double re-rendered with format_spec_double.
+/// Canonicalization is a fixed point: canonicalize_spec(canonicalize_spec
+/// (s)) == canonicalize_spec(s), which makes the canonical text a stable
+/// content-address input. Throws std::invalid_argument on a line without
+/// '=' (same diagnostic as for_each_spec_override); it does NOT validate
+/// keys — apply the result to a config to do that.
+[[nodiscard]] std::string canonicalize_spec(const std::string& text);
+
 }  // namespace rst::core

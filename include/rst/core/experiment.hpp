@@ -38,6 +38,13 @@ struct ExperimentSummary {
 [[nodiscard]] ExperimentSummary run_emergency_brake_experiment(const TestbedConfig& base_config,
                                                                int n_trials, unsigned threads = 0);
 
+/// Builds the summary (RunningStats + MetricsRegistry) from an already
+/// seed-ordered trial vector — the single aggregation pass shared by
+/// run_emergency_brake_experiment and the campaign server's cache-hit
+/// path, so a summary rebuilt from stored trial records is bit-identical
+/// to the one the cold run produced.
+[[nodiscard]] ExperimentSummary aggregate_experiment_summary(std::vector<TrialResult> trials);
+
 /// Resolves the thread-count knob: 0 -> hardware_concurrency (at least 1).
 [[nodiscard]] unsigned resolve_experiment_threads(unsigned threads);
 

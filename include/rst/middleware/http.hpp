@@ -61,7 +61,11 @@ class HttpLan {
   /// Subscribes the LAN to a fault plan. Injection points: HttpLoss /
   /// HttpStall match target "lan" (or wildcard); NodeDown matches the
   /// destination hostname — a downed host loses every request addressed to
-  /// it until the window closes (crash → restart). An HttpLoss clause draws
+  /// it until the window closes (crash → restart). NodeDown is evaluated
+  /// both at request time and again at dispatch time, so a window that
+  /// opens while a request is in flight still crashes the exchange (the
+  /// host never dispatches; the caller sees the loss-timeout status-0
+  /// response and the loss is counted). An HttpLoss clause draws
   /// from the LAN's own stream, worst-of-composed with the legacy
   /// `loss_probability` knob, so a whole-run clause is draw-for-draw
   /// equivalent to setting the knob.

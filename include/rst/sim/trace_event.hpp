@@ -34,6 +34,10 @@ enum class Stage : std::uint8_t {
   FaultWindow,        ///< fault-plan clause window (span: activation→recovery)
   WatchdogDegraded,   ///< liveness watchdog lost infrastructure contact
   WatchdogRecovered,  ///< liveness watchdog saw polling resume
+  CampaignAdmitted,   ///< campaign server admitted a submission (value = queue depth)
+  CampaignRejected,   ///< campaign server shed a submission (detail: kCampaignRejected*)
+  CampaignTrial,      ///< one campaign trial resolved (a = content key, detail: hit/miss)
+  StoreCompaction,    ///< result-store compaction pass (value = bytes reclaimed)
 };
 
 /// Chrome trace-event phase of a typed record: a point event or one end of
@@ -49,6 +53,12 @@ inline constexpr std::uint16_t kTriggerIssued = 0;
 inline constexpr std::uint16_t kTriggerFailed = 1;
 /// `TraceEvent::detail` bit for Stage::DenmTx / Stage::DenmRx.
 inline constexpr std::uint16_t kDenmTermination = 1;
+/// `TraceEvent::detail` values for Stage::CampaignRejected.
+inline constexpr std::uint16_t kCampaignRejectedQueueFull = 0;
+inline constexpr std::uint16_t kCampaignRejectedDropOldest = 1;
+/// `TraceEvent::detail` values for Stage::CampaignTrial.
+inline constexpr std::uint16_t kCampaignTrialMiss = 0;
+inline constexpr std::uint16_t kCampaignTrialHit = 1;
 
 /// One typed trace record: a small POD written into the Trace's pre-sized
 /// ring buffer — no strings, no allocation on the recording path. The

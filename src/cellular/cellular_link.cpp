@@ -34,6 +34,15 @@ CellularEndpoint* CellularNetwork::endpoint(const std::string& name) {
 void CellularNetwork::send(const std::string& from, const std::string& to,
                            std::vector<std::uint8_t> payload) {
   ++stats_.sent;
+  // A destination that does not exist (or cannot receive) is unreachable,
+  // not lost in transit: no loss draw, no latency sample, no network event.
+  // Without this check such a payload would count as `sent` but neither
+  // `lost` nor `delivered`, and its latency would still pollute the sample.
+  const auto dest = endpoints_.find(to);
+  if (dest == endpoints_.end() || !dest->second->receive_) {
+    ++stats_.undeliverable;
+    return;
+  }
   if (rng_.bernoulli(config_.loss_probability)) {
     ++stats_.lost;
     return;
@@ -44,11 +53,18 @@ void CellularNetwork::send(const std::string& from, const std::string& to,
   const auto latency = component(config_.uplink_mean, config_.uplink_sigma) +
                        component(config_.core_mean, config_.core_sigma) +
                        component(config_.downlink_mean, config_.downlink_sigma);
-  stats_.latency_ms.add(latency.to_milliseconds());
-  sched_.post_in(latency, [this, from, to, payload = std::move(payload)] {
+  sched_.post_in(latency, [this, from, to, latency, payload = std::move(payload)] {
+    // The endpoint (or its callback) may have gone away while the payload
+    // was in flight; account for it so sent == delivered + lost +
+    // undeliverable holds at any quiescent point. Latency is sampled only
+    // here, on completed deliveries.
     const auto it = endpoints_.find(to);
-    if (it == endpoints_.end() || !it->second->receive_) return;
+    if (it == endpoints_.end() || !it->second->receive_) {
+      ++stats_.undeliverable;
+      return;
+    }
     ++stats_.delivered;
+    stats_.latency_ms.add(latency.to_milliseconds());
     it->second->receive_(payload, from);
   });
 }

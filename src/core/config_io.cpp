@@ -1,5 +1,8 @@
 #include "rst/core/config_io.hpp"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <map>
 #include <sstream>
@@ -31,6 +34,35 @@ bool parse_spec_bool(const std::string& value, const std::string& key) {
   if (value == "true" || value == "1" || value == "on") return true;
   if (value == "false" || value == "0" || value == "off") return false;
   throw std::invalid_argument{"config override '" + key + "': bad boolean '" + value + "'"};
+}
+
+std::string format_spec_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string canonicalize_spec(const std::string& text) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for_each_spec_override(text, [&](const std::string& key, const std::string& value) {
+    // Values that are whole numbers normalize through %.17g ("1e3" and
+    // "1000.0" both become "1000"); anything else (booleans, enum tokens,
+    // fault clauses) is already canonical as stripped text.
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    const bool numeric = !value.empty() && end == value.c_str() + value.size();
+    pairs.emplace_back(key, numeric ? format_spec_double(v) : value);
+  });
+  std::stable_sort(pairs.begin(), pairs.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::string out;
+  for (const auto& [key, value] : pairs) {
+    out += key;
+    out += " = ";
+    out += value;
+    out += '\n';
+  }
+  return out;
 }
 
 namespace {

@@ -51,25 +51,30 @@ unsigned experiment_partitions_from_env(unsigned fallback) {
 
 ExperimentSummary run_emergency_brake_experiment(const TestbedConfig& base_config, int n_trials,
                                                  unsigned threads) {
-  ExperimentSummary summary;
-  if (n_trials <= 0) return summary;
-  summary.trials.resize(static_cast<std::size_t>(n_trials));
+  if (n_trials <= 0) return ExperimentSummary{};
+  std::vector<TrialResult> trials(static_cast<std::size_t>(n_trials));
   // Trial i is fully determined by seed+i and owns every piece of simulation
   // state, so it can run on any worker; slot i keeps the seed order.
   const auto run_one = [&](std::size_t i) {
     TestbedConfig config = base_config;
     config.seed = base_config.seed + static_cast<std::uint64_t>(i);
     TestbedScenario scenario{config};
-    summary.trials[i] = scenario.run_emergency_brake_trial();
+    trials[i] = scenario.run_emergency_brake_trial();
   };
   const unsigned resolved = resolve_experiment_threads(threads);
   if (resolved <= 1) {
-    for (std::size_t i = 0; i < summary.trials.size(); ++i) run_one(i);
+    for (std::size_t i = 0; i < trials.size(); ++i) run_one(i);
   } else {
     sim::TrialPool pool{static_cast<unsigned>(
-        std::min<std::size_t>(resolved, summary.trials.size()))};
-    pool.run_indexed(summary.trials.size(), run_one);
+        std::min<std::size_t>(resolved, trials.size()))};
+    pool.run_indexed(trials.size(), run_one);
   }
+  return aggregate_experiment_summary(std::move(trials));
+}
+
+ExperimentSummary aggregate_experiment_summary(std::vector<TrialResult> trials) {
+  ExperimentSummary summary;
+  summary.trials = std::move(trials);
   // Stats accumulate from the seed-ordered vector, never in completion
   // order, so the aggregate is bit-identical at any thread count.
   auto& trials_done = summary.metrics.counter("trials");

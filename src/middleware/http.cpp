@@ -44,7 +44,20 @@ void HttpLan::request(const std::string& hostname, HttpRequest req, ResponseCall
   const auto uplink = leg();
   const auto downlink = leg();
 
-  sched_.post_in(uplink + processing, [this, hostname, req = std::move(req), cb, downlink] {
+  const auto elapsed = uplink + processing;
+  sched_.post_in(elapsed, [this, hostname, req = std::move(req), cb, downlink, elapsed] {
+    // Re-check node faults at dispatch time: a NodeDown window that opened
+    // while the request was in flight means the host crashed before it
+    // could serve — the caller sees the same loss-timeout semantics as a
+    // request-time loss (status 0 at `loss_timeout` after the request,
+    // immediately if the crash is discovered later than that).
+    if (faults_ && faults_->active(sim::FaultKind::NodeDown, hostname)) {
+      ++requests_lost_;
+      const auto remaining = config_.loss_timeout > elapsed ? config_.loss_timeout - elapsed
+                                                            : sim::SimTime::zero();
+      sched_.post_in(remaining, [cb] { cb(HttpResponse{0, {}}); });
+      return;
+    }
     const auto it = hosts_.find(hostname);
     HttpResponse resp = it == hosts_.end() ? HttpResponse{404, "no such host"}
                                            : it->second->dispatch(req);

@@ -174,24 +174,12 @@ std::vector<std::pair<std::string, std::string>> city_spec_keys() {
   };
 }
 
-namespace {
-
-/// %.17g is the shortest printf format that round-trips every finite
-/// double through strtod/stod exactly.
-std::string format_spec_double(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  return buf;
-}
-
-}  // namespace
-
 std::string format_city_spec(const CitySpec& spec) {
   std::ostringstream out;
   const auto put = [&](const char* key, const std::string& value) {
     out << key << " = " << value << "\n";
   };
-  const auto num = [&](const char* key, double v) { put(key, format_spec_double(v)); };
+  const auto num = [&](const char* key, double v) { put(key, core::format_spec_double(v)); };
   const auto integer = [&](const char* key, long long v) { put(key, std::to_string(v)); };
   const auto boolean = [&](const char* key, bool v) { put(key, v ? "true" : "false"); };
 

@@ -1,0 +1,166 @@
+#include "rst/server/campaign.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "rst/core/config_io.hpp"
+
+namespace rst::server {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t mix_u64(std::uint64_t h, std::uint64_t v) {
+  // Explicit little-endian byte order so the address is platform-stable.
+  for (int i = 0; i < 8; ++i) {
+    h ^= static_cast<std::uint8_t>(v >> (8 * i));
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(std::string_view bytes, std::uint64_t h) {
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t trial_key(const std::string& canonical_spec, std::uint64_t seed) {
+  std::uint64_t h = fnv1a(canonical_spec);
+  h = mix_u64(h, seed);
+  return fnv1a(kCodeVersion, h);
+}
+
+std::uint64_t campaign_id(const std::string& canonical_spec, int trials,
+                          std::uint64_t base_seed) {
+  std::uint64_t h = fnv1a(canonical_spec);
+  h = mix_u64(h, static_cast<std::uint64_t>(trials));
+  h = mix_u64(h, base_seed);
+  return fnv1a(kCodeVersion, h);
+}
+
+std::string serialize_trial_record(std::uint64_t seed, const core::TrialResult& r) {
+  std::string out;
+  char buf[64];
+  const auto token = [&](const char* key, const std::string& value) {
+    if (!out.empty()) out += ' ';
+    out += key;
+    out += '=';
+    out += value;
+  };
+  const auto integer = [&](const char* key, std::int64_t v) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    token(key, buf);
+  };
+  const auto real = [&](const char* key, double v) { token(key, core::format_spec_double(v)); };
+
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(seed));
+  token("seed", buf);
+  integer("stopped", r.stopped_by_denm ? 1 : 0);
+  integer("timeout", r.timed_out ? 1 : 0);
+  integer("t_cross_ns", r.t_cross_actual.count_ns());
+  integer("t_det_ns", r.t_detection.count_ns());
+  integer("t_rsu_ns", r.t_rsu_send.count_ns());
+  integer("t_obu_ns", r.t_obu_receive.count_ns());
+  integer("t_cut_ns", r.t_power_cut.count_ns());
+  integer("t_halt_ns", r.t_halt.count_ns());
+  real("det_rsu_ms", r.meas_detection_to_rsu_ms);
+  real("rsu_obu_ms", r.meas_rsu_to_obu_ms);
+  real("obu_act_ms", r.meas_obu_to_actuator_ms);
+  real("total_ms", r.meas_total_ms);
+  real("brake_m", r.braking_distance_m);
+  real("stop_cam_m", r.stop_distance_to_camera_m);
+  real("det_dist_m", r.detection_distance_m);
+  real("det_speed_mps", r.speed_at_detection_mps);
+  return out;
+}
+
+namespace {
+
+[[noreturn]] void bad_record(const std::string& line, const char* why) {
+  throw std::invalid_argument{std::string{"trial record: "} + why + " in '" + line + "'"};
+}
+
+}  // namespace
+
+TrialRecord parse_trial_record(const std::string& line) {
+  TrialRecord rec;
+  // Every field must appear exactly once; count them so a truncated record
+  // fails loud instead of decoding into default-zero measurements.
+  int seen = 0;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    const auto space = line.find(' ', pos);
+    const std::string tok =
+        line.substr(pos, space == std::string::npos ? std::string::npos : space - pos);
+    pos = space == std::string::npos ? line.size() : space + 1;
+    if (tok.empty()) continue;
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos) bad_record(line, "token without '='");
+    const std::string key = tok.substr(0, eq);
+    const std::string value = tok.substr(eq + 1);
+    char* end = nullptr;
+    const auto as_i64 = [&]() -> std::int64_t {
+      const long long v = std::strtoll(value.c_str(), &end, 10);
+      if (end != value.c_str() + value.size() || value.empty()) bad_record(line, "bad integer");
+      return v;
+    };
+    const auto as_double = [&]() -> double {
+      const double v = std::strtod(value.c_str(), &end);
+      if (end != value.c_str() + value.size() || value.empty()) bad_record(line, "bad number");
+      return v;
+    };
+    using sim::SimTime;
+    core::TrialResult& r = rec.result;
+    ++seen;
+    if (key == "seed") {
+      const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+      if (end != value.c_str() + value.size() || value.empty()) bad_record(line, "bad seed");
+      rec.seed = v;
+    } else if (key == "stopped") {
+      r.stopped_by_denm = as_i64() != 0;
+    } else if (key == "timeout") {
+      r.timed_out = as_i64() != 0;
+    } else if (key == "t_cross_ns") {
+      r.t_cross_actual = SimTime::nanoseconds(as_i64());
+    } else if (key == "t_det_ns") {
+      r.t_detection = SimTime::nanoseconds(as_i64());
+    } else if (key == "t_rsu_ns") {
+      r.t_rsu_send = SimTime::nanoseconds(as_i64());
+    } else if (key == "t_obu_ns") {
+      r.t_obu_receive = SimTime::nanoseconds(as_i64());
+    } else if (key == "t_cut_ns") {
+      r.t_power_cut = SimTime::nanoseconds(as_i64());
+    } else if (key == "t_halt_ns") {
+      r.t_halt = SimTime::nanoseconds(as_i64());
+    } else if (key == "det_rsu_ms") {
+      r.meas_detection_to_rsu_ms = as_double();
+    } else if (key == "rsu_obu_ms") {
+      r.meas_rsu_to_obu_ms = as_double();
+    } else if (key == "obu_act_ms") {
+      r.meas_obu_to_actuator_ms = as_double();
+    } else if (key == "total_ms") {
+      r.meas_total_ms = as_double();
+    } else if (key == "brake_m") {
+      r.braking_distance_m = as_double();
+    } else if (key == "stop_cam_m") {
+      r.stop_distance_to_camera_m = as_double();
+    } else if (key == "det_dist_m") {
+      r.detection_distance_m = as_double();
+    } else if (key == "det_speed_mps") {
+      r.speed_at_detection_mps = as_double();
+    } else {
+      bad_record(line, "unknown field");
+    }
+  }
+  if (seen != 17) bad_record(line, "wrong field count");
+  return rec;
+}
+
+}  // namespace rst::server

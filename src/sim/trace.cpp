@@ -30,6 +30,10 @@ std::string_view stage_name(Stage stage) {
     case Stage::FaultWindow: return "FaultWindow";
     case Stage::WatchdogDegraded: return "WatchdogDegraded";
     case Stage::WatchdogRecovered: return "WatchdogRecovered";
+    case Stage::CampaignAdmitted: return "CampaignAdmitted";
+    case Stage::CampaignRejected: return "CampaignRejected";
+    case Stage::CampaignTrial: return "CampaignTrial";
+    case Stage::StoreCompaction: return "StoreCompaction";
   }
   return "Unknown";
 }
@@ -146,6 +150,27 @@ void render_event(const TraceEvent& ev, char (&component)[32], char (&message)[1
     case Stage::WatchdogRecovered:
       std::snprintf(component, sizeof component, "msg_handler");
       std::snprintf(message, sizeof message, "watchdog: infrastructure contact restored");
+      break;
+    case Stage::CampaignAdmitted:
+      std::snprintf(component, sizeof component, "campaign_engine");
+      std::snprintf(message, sizeof message, "campaign %016" PRIx64 " admitted, queue depth %g",
+                    ev.a, ev.value);
+      break;
+    case Stage::CampaignRejected:
+      std::snprintf(component, sizeof component, "campaign_engine");
+      std::snprintf(message, sizeof message, "campaign %016" PRIx64 " %s", ev.a,
+                    ev.detail == kCampaignRejectedDropOldest ? "dropped (oldest shed)"
+                                                             : "rejected (queue full)");
+      break;
+    case Stage::CampaignTrial:
+      std::snprintf(component, sizeof component, "campaign_engine");
+      std::snprintf(message, sizeof message, "trial key %016" PRIx64 " cache %s", ev.a,
+                    ev.detail == kCampaignTrialHit ? "hit" : "miss");
+      break;
+    case Stage::StoreCompaction:
+      std::snprintf(component, sizeof component, "result_store");
+      std::snprintf(message, sizeof message, "compaction reclaimed %g byte(s), %" PRIu64
+                    " live record(s)", ev.value, ev.a);
       break;
   }
 }
