@@ -68,10 +68,21 @@ void serve(int fd, rst::server::CampaignEngine& engine) {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       pos = nl + 1;
       std::string out;
-      open = session.consume_line(line, [&](const std::string& reply) {
-        out += reply;
-        out += '\n';
-      });
+      try {
+        open = session.consume_line(line, [&](const std::string& reply) {
+          out += reply;
+          out += '\n';
+        });
+      } catch (const std::exception& e) {
+        // An engine failure (e.g. a ResultStore append on a full disk) must
+        // not take the whole server down. Tell this client and drop only its
+        // connection — the response stream may already be mid-artifact, so
+        // it cannot be safely resumed.
+        out += "ERROR ";
+        out += e.what();
+        out += "\nDONE\n";
+        open = false;
+      }
       if (!out.empty() && !send_all(fd, out)) open = false;
     }
     inbuf.erase(0, pos);

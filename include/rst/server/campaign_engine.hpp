@@ -75,7 +75,9 @@ class CampaignEngine {
   std::optional<CampaignOutcome> run_one(const LineSink& sink = {});
 
   /// submit() + run_one() in one call — the synchronous transport path.
-  /// A rejected submission returns Status::Rejected without running.
+  /// The overflow policy applies as in submit(): under Reject a full queue
+  /// returns Status::Rejected without running; under DropOldest the stalest
+  /// queued campaign is shed and this submission runs.
   CampaignOutcome execute(CampaignRequest request, const LineSink& sink = {});
 
   /// Compacts the result store and traces the pass. Returns bytes reclaimed.
@@ -90,6 +92,8 @@ class CampaignEngine {
 
  private:
   CampaignOutcome run_campaign(const CampaignRequest& request, const LineSink& sink);
+  /// Drop-oldest overflow: counts, traces, and pops the stalest queued campaign.
+  void shed_oldest();
   /// Engine-lifetime logical clock for trace records (the engine has no
   /// simulation time; a monotone tick keeps the trace order meaningful).
   sim::SimTime tick() { return sim::SimTime::nanoseconds(static_cast<std::int64_t>(ticks_++)); }

@@ -53,6 +53,8 @@ class ResultStore {
  private:
   void append_record(std::uint64_t key, const std::string& value);
   void replay();
+  /// Cuts the segment file down to `size` bytes (torn-tail recovery).
+  void truncate_segment(std::uint64_t size);
 
   std::string path_;
   std::map<std::uint64_t, std::string> index_;

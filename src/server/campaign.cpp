@@ -91,9 +91,12 @@ namespace {
 
 TrialRecord parse_trial_record(const std::string& line) {
   TrialRecord rec;
-  // Every field must appear exactly once; count them so a truncated record
-  // fails loud instead of decoding into default-zero measurements.
-  int seen = 0;
+  // Every field must appear exactly once; track per-field presence so both
+  // a truncated record and a duplicated-field one (which a plain token
+  // count would wave through with a silent default-zero measurement) fail
+  // loud instead of decoding.
+  std::uint32_t seen = 0;
+  constexpr int kFieldCount = 17;
   std::size_t pos = 0;
   while (pos < line.size()) {
     const auto space = line.find(' ', pos);
@@ -118,7 +121,21 @@ TrialRecord parse_trial_record(const std::string& line) {
     };
     using sim::SimTime;
     core::TrialResult& r = rec.result;
-    ++seen;
+    static constexpr const char* kFields[kFieldCount] = {
+        "seed",      "stopped",    "timeout",    "t_cross_ns", "t_det_ns",  "t_rsu_ns",
+        "t_obu_ns",  "t_cut_ns",   "t_halt_ns",  "det_rsu_ms", "rsu_obu_ms", "obu_act_ms",
+        "total_ms",  "brake_m",    "stop_cam_m", "det_dist_m", "det_speed_mps"};
+    int field = -1;
+    for (int i = 0; i < kFieldCount; ++i) {
+      if (key == kFields[i]) {
+        field = i;
+        break;
+      }
+    }
+    if (field < 0) bad_record(line, "unknown field");
+    const std::uint32_t bit = 1u << field;
+    if (seen & bit) bad_record(line, "duplicate field");
+    seen |= bit;
     if (key == "seed") {
       const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
       if (end != value.c_str() + value.size() || value.empty()) bad_record(line, "bad seed");
@@ -155,11 +172,9 @@ TrialRecord parse_trial_record(const std::string& line) {
       r.detection_distance_m = as_double();
     } else if (key == "det_speed_mps") {
       r.speed_at_detection_mps = as_double();
-    } else {
-      bad_record(line, "unknown field");
     }
   }
-  if (seen != 17) bad_record(line, "wrong field count");
+  if (seen != (std::uint32_t{1} << kFieldCount) - 1) bad_record(line, "missing field");
   return rec;
 }
 

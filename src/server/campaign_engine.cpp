@@ -30,6 +30,18 @@ struct Validated {
   std::string canonical{};
 };
 
+/// Best-effort id for admission-time traces: the canonical campaign id when
+/// the spec canonicalizes (matching CampaignOutcome::id), else the id of the
+/// raw spec bytes — still stable per submission, so the trace stays joinable.
+std::uint64_t submission_id(const CampaignRequest& request) {
+  std::string spec = request.spec;
+  try {
+    spec = core::canonicalize_spec(request.spec);
+  } catch (const std::exception&) {
+  }
+  return campaign_id(spec, request.trials, request.base_seed);
+}
+
 Validated validate_request(const CampaignRequest& request, int max_trials) {
   Validated v;
   try {
@@ -54,23 +66,28 @@ CampaignEngine::Admission CampaignEngine::submit(CampaignRequest request) {
   if (queue_.size() >= config_.queue_capacity) {
     if (config_.overflow == CampaignEngineConfig::OverflowPolicy::Reject) {
       metrics_.counter("campaigns_rejected").add();
-      trace_.record_event(tick(), Stage::CampaignRejected, 0, 0,
+      trace_.record_event(tick(), Stage::CampaignRejected, 0, submission_id(request),
                           static_cast<double>(queue_.size()), sim::kCampaignRejectedQueueFull);
       return Admission::Rejected;
     }
-    // Drop-oldest: the new submission is admitted, the stalest queued
-    // campaign is shed (it was enqueued longest ago and is the most likely
-    // to have a departed client).
-    metrics_.counter("campaigns_shed").add();
-    trace_.record_event(tick(), Stage::CampaignRejected, 0, 0,
-                        static_cast<double>(queue_.size()), sim::kCampaignRejectedDropOldest);
-    queue_.pop_front();
+    shed_oldest();
   }
+  const std::uint64_t id = submission_id(request);
   queue_.push_back(std::move(request));
   metrics_.counter("campaigns_admitted").add();
-  trace_.record_event(tick(), Stage::CampaignAdmitted, 0, 0,
+  trace_.record_event(tick(), Stage::CampaignAdmitted, 0, id,
                       static_cast<double>(queue_.size()));
   return Admission::Admitted;
+}
+
+void CampaignEngine::shed_oldest() {
+  // Drop-oldest: the new submission is admitted, the stalest queued
+  // campaign is shed (it was enqueued longest ago and is the most likely
+  // to have a departed client).
+  metrics_.counter("campaigns_shed").add();
+  trace_.record_event(tick(), Stage::CampaignRejected, 0, submission_id(queue_.front()),
+                      static_cast<double>(queue_.size()), sim::kCampaignRejectedDropOldest);
+  queue_.pop_front();
 }
 
 std::optional<CampaignOutcome> CampaignEngine::run_one(const LineSink& sink) {
@@ -82,19 +99,24 @@ std::optional<CampaignOutcome> CampaignEngine::run_one(const LineSink& sink) {
 
 CampaignOutcome CampaignEngine::execute(CampaignRequest request, const LineSink& sink) {
   // The synchronous transport path: admission against the queued backlog
-  // (a direct execute does not jump a full queue), then run inline.
+  // (a direct execute does not jump a full queue), then run inline. The
+  // configured overflow policy applies exactly as in submit(): under
+  // DropOldest a full queue sheds its stalest campaign to admit this one.
   metrics_.histogram("campaign.queue_depth").observe(static_cast<double>(queue_.size()));
   if (queue_.size() >= config_.queue_capacity) {
-    metrics_.counter("campaigns_rejected").add();
-    trace_.record_event(tick(), Stage::CampaignRejected, 0, 0,
-                        static_cast<double>(queue_.size()), sim::kCampaignRejectedQueueFull);
-    CampaignOutcome out;
-    out.status = CampaignOutcome::Status::Rejected;
-    out.error = "overloaded";
-    return out;
+    if (config_.overflow == CampaignEngineConfig::OverflowPolicy::Reject) {
+      metrics_.counter("campaigns_rejected").add();
+      trace_.record_event(tick(), Stage::CampaignRejected, 0, submission_id(request),
+                          static_cast<double>(queue_.size()), sim::kCampaignRejectedQueueFull);
+      CampaignOutcome out;
+      out.status = CampaignOutcome::Status::Rejected;
+      out.error = "overloaded";
+      return out;
+    }
+    shed_oldest();
   }
   metrics_.counter("campaigns_admitted").add();
-  trace_.record_event(tick(), Stage::CampaignAdmitted, 0, 0,
+  trace_.record_event(tick(), Stage::CampaignAdmitted, 0, submission_id(request),
                       static_cast<double>(queue_.size()));
   return run_campaign(request, sink);
 }

@@ -1,7 +1,9 @@
 #include "rst/server/result_store.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
 #include <string_view>
@@ -64,6 +66,15 @@ void ResultStore::put(std::uint64_t key, const std::string& value) {
   appended_bytes_ += record_bytes(value);
 }
 
+void ResultStore::truncate_segment(std::uint64_t size) {
+  std::error_code ec;
+  std::filesystem::resize_file(path_, size, ec);
+  if (ec) {
+    throw std::runtime_error{"ResultStore: cannot truncate torn tail of " + path_ + ": " +
+                             ec.message()};
+  }
+}
+
 void ResultStore::append_record(std::uint64_t key, const std::string& value) {
   if (path_.empty()) return;
   std::string rec;
@@ -85,20 +96,31 @@ void ResultStore::replay() {
   if (!in) return;  // no segment yet — first put() creates it
   std::vector<char> data{std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{}};
   if (data.empty()) return;
-  if (data.size() < sizeof kMagic ||
-      std::string_view{data.data(), sizeof kMagic} != std::string_view{kMagic, sizeof kMagic}) {
+  const std::string_view magic{kMagic, sizeof kMagic};
+  const std::string_view head{data.data(), std::min(data.size(), sizeof kMagic)};
+  if (head != magic.substr(0, head.size())) {
     throw std::runtime_error{"ResultStore: " + path_ + " is not a result segment"};
+  }
+  if (data.size() < sizeof kMagic) {
+    truncate_segment(0);  // crash mid-header: next append rewrites the magic
+    return;
   }
   std::size_t pos = sizeof kMagic;
   while (pos + 12 <= data.size()) {
     const std::uint64_t key = get_u64(data.data() + pos);
     const std::uint32_t len = get_u32(data.data() + pos + 8);
-    if (pos + 12 + len > data.size()) break;  // torn tail: drop it
+    if (pos + 12 + len > data.size()) break;  // torn tail: truncated below
     std::string value{data.data() + pos + 12, len};
     const bool inserted = index_.insert_or_assign(key, std::move(value)).second;
     (void)inserted;
     pos += 12 + len;
     appended_bytes_ += 12 + len;
+  }
+  if (pos < data.size()) {
+    // A torn final record must be cut from the file, not just skipped in the
+    // index: append opens with ios::app, and new records written after the
+    // partial bytes would misalign the parse on the next open.
+    truncate_segment(pos);
   }
   live_bytes_ = 0;
   for (const auto& [k, v] : index_) {

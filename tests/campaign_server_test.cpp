@@ -111,6 +111,21 @@ TEST(TrialRecord, TruncatedOrCorruptRecordsFailLoud) {
   EXPECT_THROW((void)parse_trial_record("seed=abc"), std::invalid_argument);
 }
 
+TEST(TrialRecord, DuplicatedFieldCannotMaskAMissingOne) {
+  const std::string line = serialize_trial_record(1, core::TrialResult{});
+  // Swap one field for a duplicate of another: the token count is still 17,
+  // but the record would silently decode total_ms as default-zero.
+  const auto total = line.find(" total_ms=");
+  const auto after_total = line.find(' ', total + 1);
+  ASSERT_NE(total, std::string::npos);
+  const std::string dup_for_missing =
+      line.substr(0, total) + " brake_m=1" +
+      (after_total == std::string::npos ? "" : line.substr(after_total));
+  EXPECT_THROW((void)parse_trial_record(dup_for_missing), std::invalid_argument);
+  // A plain 18-token duplicate fails too.
+  EXPECT_THROW((void)parse_trial_record(line + " seed=1"), std::invalid_argument);
+}
+
 // --- ResultStore -----------------------------------------------------------
 
 TEST(ResultStore, MemoryOnlyPutGet) {
@@ -155,6 +170,59 @@ TEST(ResultStore, ToleratesTornTail) {
   ResultStore reopened{path};
   EXPECT_EQ(reopened.count(), 1u);  // the torn record is dropped
   EXPECT_EQ(*reopened.get(1), "one");
+  std::remove(path.c_str());
+}
+
+TEST(ResultStore, AppendsAfterTornTailStayParseable) {
+  // A torn tail must be truncated from the file, not just skipped in the
+  // index: records appended after partial bytes would misalign every later
+  // replay (the torn length header eats the next record's start).
+  const std::string path = scratch_path("torn_append");
+  {
+    ResultStore store{path};
+    store.put(1, "one");
+    store.put(2, "two");
+  }
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(::truncate(path.c_str(), size - 2), 0);
+  }
+  {
+    ResultStore store{path};
+    EXPECT_EQ(store.count(), 1u);
+    store.put(3, "three");  // lands where the torn bytes were
+    store.put(2, "two again");
+  }
+  ResultStore reopened{path};
+  EXPECT_EQ(reopened.count(), 3u);
+  EXPECT_EQ(*reopened.get(1), "one");
+  EXPECT_EQ(*reopened.get(2), "two again");
+  EXPECT_EQ(*reopened.get(3), "three");
+  std::remove(path.c_str());
+}
+
+TEST(ResultStore, TornMagicHeaderIsTruncatedAway) {
+  // A crash during the very first append can leave a prefix of the magic;
+  // that is a torn write, not a foreign file — reopen treats it as empty.
+  const std::string path = scratch_path("torn_magic");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(ResultStore::kMagic, 1, 3, f);
+    std::fclose(f);
+  }
+  {
+    ResultStore store{path};
+    EXPECT_EQ(store.count(), 0u);
+    store.put(9, "nine");
+  }
+  ResultStore reopened{path};
+  EXPECT_EQ(reopened.count(), 1u);
+  EXPECT_EQ(*reopened.get(9), "nine");
   std::remove(path.c_str());
 }
 
@@ -338,6 +406,47 @@ TEST(CampaignEngine, DropOldestShedsTheStalestCampaign) {
   const auto out = engine.run_one();
   ASSERT_TRUE(out.has_value());
   EXPECT_EQ(out->cache_misses, 3u);
+}
+
+TEST(CampaignEngine, ExecuteHonorsDropOldestPolicy) {
+  CampaignEngineConfig config;
+  config.queue_capacity = 1;
+  config.overflow = CampaignEngineConfig::OverflowPolicy::DropOldest;
+  CampaignEngine engine{config};
+  EXPECT_EQ(engine.submit(small_campaign(2)), CampaignEngine::Admission::Admitted);
+  // The queue is full, but the synchronous path applies the configured
+  // policy: the stalest queued campaign is shed and this one runs.
+  const CampaignOutcome out = engine.execute(small_campaign(3));
+  EXPECT_EQ(out.status, CampaignOutcome::Status::Ok);
+  EXPECT_EQ(out.cache_misses, 3u);
+  EXPECT_EQ(engine.queue_depth(), 0u);
+  EXPECT_EQ(engine.metrics().counter("campaigns_shed").value(), 1u);
+  EXPECT_EQ(engine.metrics().counter("campaigns_rejected").value(), 0u);
+  EXPECT_FALSE(engine.run_one().has_value());  // the shed campaign is gone
+}
+
+TEST(CampaignEngine, AdmissionTraceEventsCarryTheCampaignId) {
+  CampaignEngineConfig config;
+  config.queue_capacity = 1;
+  CampaignEngine engine{config};
+  const CampaignRequest request = small_campaign();
+  const std::uint64_t id =
+      campaign_id(core::canonicalize_spec(request.spec), request.trials, request.base_seed);
+  EXPECT_EQ(engine.submit(request), CampaignEngine::Admission::Admitted);
+  EXPECT_EQ(engine.submit(request), CampaignEngine::Admission::Rejected);
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  for (const auto& e : engine.trace().events()) {
+    if (e.stage == sim::Stage::CampaignAdmitted) {
+      EXPECT_EQ(e.a, id);
+      ++admitted;
+    } else if (e.stage == sim::Stage::CampaignRejected) {
+      EXPECT_EQ(e.a, id);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(admitted, 1u);
+  EXPECT_EQ(rejected, 1u);
 }
 
 TEST(CampaignEngine, ObservabilityCountsMatchOutcomes) {
