@@ -8,6 +8,7 @@
 #include "rst/its/dcc/channel_probe.hpp"
 #include "rst/its/dcc/reactive_dcc.hpp"
 #include "rst/its/facilities/ca_basic_service.hpp"
+#include "rst/its/facilities/cpm_service.hpp"
 #include "rst/its/facilities/den_basic_service.hpp"
 #include "rst/its/facilities/ldm.hpp"
 #include "rst/its/network/btp.hpp"
@@ -30,6 +31,10 @@ struct ItsStationConfig {
   its::GeoNetConfig geonet{};
   its::CaConfig ca{};
   its::DenConfig den{};
+  /// Collective Perception service (opt-in; off keeps the stack and every
+  /// default-path artifact byte-identical to a CPM-less build).
+  bool enable_cpm{false};
+  its::CpmConfig cpm{};
   /// Gate all transmissions through a reactive DCC (TS 102 687).
   bool enable_dcc{false};
   its::dcc::ReactiveDccConfig dcc{};
@@ -71,6 +76,8 @@ class ItsStation {
   [[nodiscard]] const middleware::NtpClock& clock() const { return *clock_; }
   /// Non-null when enable_dcc is set.
   [[nodiscard]] its::dcc::ReactiveDcc* dcc() { return dcc_.get(); }
+  /// Non-null when enable_cpm is set.
+  [[nodiscard]] its::CpmService* cpm() { return cpm_.get(); }
 
   /// Sets the vehicle-data provider feeding the CA service and starts
   /// CAM generation.
@@ -92,6 +99,7 @@ class ItsStation {
   std::unique_ptr<its::Ldm> ldm_;
   std::unique_ptr<its::CaBasicService> ca_;
   std::unique_ptr<its::DenBasicService> den_;
+  std::unique_ptr<its::CpmService> cpm_;
   std::unique_ptr<its::dcc::ChannelProbe> probe_;
   std::unique_ptr<its::dcc::ReactiveDcc> dcc_;
   std::unique_ptr<middleware::NtpClock> clock_;

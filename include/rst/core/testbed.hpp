@@ -1,5 +1,6 @@
 #pragma once
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "rst/middleware/message_bus.hpp"
 #include "rst/roadside/hazard_service.hpp"
 #include "rst/sim/fault_plan.hpp"
+#include "rst/sim/metrics.hpp"
 #include "rst/roadside/object_detection_service.hpp"
 #include "rst/vehicle/control_module.hpp"
 #include "rst/vehicle/dynamics.hpp"
@@ -86,6 +88,16 @@ struct TestbedConfig {
                        .station_type = its::StationType::RoadSideUnit,
                        .name = "rsu"};
   bool enable_cam{true};
+
+  // --- Collective Perception (ETSI CPM, TS 103 324 style) ---
+  /// Both stations publish their LDM percepts as CPMs and fuse remote
+  /// ones: the RSU's detection stream feeds its LDM continuously and the
+  /// OBU runs the collision predictor on every fused percept. Opt-in; off
+  /// (the default) keeps every artifact byte-identical to a CPM-less run.
+  bool cpm_enable{false};
+  sim::SimTime cpm_interval{sim::SimTime::milliseconds(250)};
+  sim::SimTime cpm_object_lifetime{sim::SimTime::milliseconds(1500)};
+  sim::SimTime cpm_redundancy_window{sim::SimTime::milliseconds(500)};
 
   // --- Radio channel ---
   double path_loss_exponent{2.1};
@@ -206,6 +218,8 @@ class TestbedScenario {
   [[nodiscard]] middleware::HttpLan& lan() { return *lan_; }
   /// Null when the configured fault plan is empty.
   [[nodiscard]] sim::FaultInjector* fault_injector() { return faults_.get(); }
+  /// cpm.* counters when cpm_enable is set (empty registry otherwise).
+  [[nodiscard]] sim::MetricsRegistry& metrics() { return metrics_; }
 
   /// Starts every service (also done by run_emergency_brake_trial).
   void start_services();
@@ -218,6 +232,8 @@ class TestbedScenario {
   };
 
   void schedule_separation_probe();
+  void feed_rsu_ldm(const roadside::DetectionBatch& batch);
+  void on_fused_percept(const its::PerceivedObject& object);
 
   TestbedConfig config_;
   sim::Scheduler sched_;
@@ -259,6 +275,18 @@ class TestbedScenario {
   double min_separation_{std::numeric_limits<double>::infinity()};
   bool services_started_{false};
   std::uint32_t next_object_id_{1};
+
+  sim::MetricsRegistry metrics_;
+  /// Per-object motion estimate of the detections -> RSU-LDM feed: the
+  /// YOLO range rate is radial only, so world-frame velocity comes from
+  /// finite differences over the detection stream.
+  struct FeedTrack {
+    geo::Vec2 position{};
+    geo::Vec2 velocity{};
+    sim::SimTime at{};
+  };
+  std::map<std::uint32_t, FeedTrack> cpm_feed_tracks_;
+  bool cpm_stop_latched_{false};
 };
 
 }  // namespace rst::core

@@ -45,6 +45,11 @@ struct PerceivedObject {
   geo::Vec2 velocity{};
   double confidence{0};
   sim::SimTime observed{};
+  /// When the underlying sensor measurement was taken (<= observed).
+  /// Left default it is stamped with the update time.
+  sim::SimTime measured{};
+  /// Originating station of a CPM-fused remote percept; 0 = local sensing.
+  StationId source_station{0};
 };
 
 /// What changed in the LDM (facility-layer publish/subscribe, the IF.LDM
@@ -89,6 +94,9 @@ class Ldm {
 
   void set_vehicle_entry_lifetime(sim::SimTime t) { vehicle_lifetime_ = t; }
   void set_perceived_object_lifetime(sim::SimTime t) { object_lifetime_ = t; }
+  [[nodiscard]] sim::SimTime perceived_object_lifetime() const { return object_lifetime_; }
+  /// Perceived objects dropped by expiry since construction.
+  [[nodiscard]] std::uint64_t perceived_objects_expired() const { return objects_expired_; }
 
   /// OpenC2X-style textual dump of the map contents (the paper's
   /// Server/Web Interface renders the LDM graphically; this is the
@@ -105,6 +113,7 @@ class Ldm {
   std::map<StationId, LdmVehicleEntry> vehicles_;
   std::map<std::pair<StationId, std::uint16_t>, LdmEventEntry> events_;
   std::map<std::uint32_t, PerceivedObject> objects_;
+  std::uint64_t objects_expired_{0};
   std::vector<std::pair<std::uint64_t, Subscriber>> subscribers_;
   std::uint64_t next_subscriber_id_{1};
 };

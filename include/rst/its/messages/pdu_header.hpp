@@ -16,6 +16,7 @@ enum class MessageId : std::uint8_t {
   Map = 5,
   Ivi = 6,
   Ev_rsr = 7,
+  Cpm = 14,
 };
 
 /// ItsPduHeader DF: common header of every ETSI ITS facilities message

@@ -10,6 +10,7 @@ namespace rst::its {
 /// Well-known BTP destination ports (EN 302 636-5-1 / TS 103 248).
 inline constexpr std::uint16_t kBtpPortCam = 2001;
 inline constexpr std::uint16_t kBtpPortDenm = 2002;
+inline constexpr std::uint16_t kBtpPortCpm = 2009;
 
 /// BTP-B header (non-interactive transport: destination port + port info).
 /// This is the variant the ETSI facilities messages use.

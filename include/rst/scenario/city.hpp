@@ -68,6 +68,12 @@ struct CitySpec {
   /// DEN keep-alive forwarding on vehicle stations (the store-carry-forward
   /// substrate of the delivery experiment).
   bool enable_kaf{false};
+  /// Collective Perception service on every station (opt-in; the default
+  /// keeps the four city fingerprints byte-identical to a CPM-less build).
+  bool cpm_enable{false};
+  sim::SimTime cpm_interval{sim::SimTime::milliseconds(250)};
+  sim::SimTime cpm_object_lifetime{sim::SimTime::milliseconds(1500)};
+  sim::SimTime cpm_redundancy_window{sim::SimTime::milliseconds(500)};
 
   // --- Radio channel ---
   /// Urban fits run hotter than the lab's 2.1 (City-Scale ITS-G5 reports

@@ -38,6 +38,9 @@ enum class Stage : std::uint8_t {
   CampaignRejected,   ///< campaign server shed a submission (detail: kCampaignRejected*)
   CampaignTrial,      ///< one campaign trial resolved (a = content key, detail: hit/miss)
   StoreCompaction,    ///< result-store compaction pass (value = bytes reclaimed)
+  CpmTx,              ///< CP service transmitted a CPM (value = object count)
+  CpmRx,              ///< CP service received a CPM (a = source station)
+  CpmFusion,          ///< remote percept fused into the local LDM (a = object id)
 };
 
 /// Chrome trace-event phase of a typed record: a point event or one end of
@@ -48,6 +51,7 @@ enum class Phase : std::uint8_t { Instant, Begin, End };
 inline constexpr std::uint16_t kHazardActionPoint = 0;  ///< value = estimated distance (m)
 inline constexpr std::uint16_t kHazardCpaStation = 1;   ///< value = t_cpa (s)
 inline constexpr std::uint16_t kHazardCpaObject = 2;    ///< value = t_cpa (s)
+inline constexpr std::uint16_t kHazardFusedPercept = 3; ///< value = t_cpa (s), CPM-fused object
 /// `TraceEvent::detail` values for Stage::TriggerDenm.
 inline constexpr std::uint16_t kTriggerIssued = 0;
 inline constexpr std::uint16_t kTriggerFailed = 1;

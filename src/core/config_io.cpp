@@ -125,6 +125,27 @@ const std::map<std::string, Entry>& registry() {
           c.shadowing_sigma_db = parse_double(v, "shadowing_sigma_db");
         },
         "log-normal shadowing sigma"}},
+      {"cpm_enable",
+       {[](TestbedConfig& c, const std::string& v) {
+          c.cpm_enable = parse_bool(v, "cpm_enable");
+        },
+        "collective perception service on both stations"}},
+      {"cpm_interval_ms",
+       {[](TestbedConfig& c, const std::string& v) {
+          c.cpm_interval = SimTime::milliseconds(parse_int(v, "cpm_interval_ms"));
+        },
+        "CPM generation period"}},
+      {"cpm_object_lifetime_ms",
+       {[](TestbedConfig& c, const std::string& v) {
+          c.cpm_object_lifetime = SimTime::milliseconds(parse_int(v, "cpm_object_lifetime_ms"));
+        },
+        "LDM perceived-object lifetime under CPM"}},
+      {"cpm_redundancy_window_ms",
+       {[](TestbedConfig& c, const std::string& v) {
+          c.cpm_redundancy_window =
+              SimTime::milliseconds(parse_int(v, "cpm_redundancy_window_ms"));
+        },
+        "skip objects a peer announced within this window"}},
       {"medium_per_link_streams",
        {[](TestbedConfig& c, const std::string& v) {
           c.medium_per_link_streams = parse_bool(v, "medium_per_link_streams");

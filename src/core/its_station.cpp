@@ -27,6 +27,12 @@ ItsStation::ItsStation(sim::Scheduler& sched, dot11p::Medium& medium, middleware
   cam_provider_slot_ = provider;
   den_ = std::make_unique<its::DenBasicService>(sched_, *router_, config_.station_id, trace_,
                                                 ldm_.get(), config_.den);
+  if (config_.enable_cpm) {
+    its::CpmConfig cpm_config = config_.cpm;
+    cpm_config.station_type = config_.station_type;
+    cpm_ = std::make_unique<its::CpmService>(sched_, *router_, config_.station_id, cpm_config,
+                                             ldm_.get(), trace_);
+  }
   if (config_.enable_dcc) {
     probe_ = std::make_unique<its::dcc::ChannelProbe>(sched_, *radio_);
     probe_->start();
@@ -47,6 +53,12 @@ ItsStation::ItsStation(sim::Scheduler& sched, dot11p::Medium& medium, middleware
   mux_.register_port(its::kBtpPortDenm,
                      [this](const std::vector<std::uint8_t>& payload,
                             const its::GnDeliveryMeta& meta) { den_->on_btp_payload(payload, meta); });
+  if (cpm_) {
+    mux_.register_port(its::kBtpPortCpm, [this](const std::vector<std::uint8_t>& payload,
+                                                const its::GnDeliveryMeta& meta) {
+      cpm_->on_btp_payload(payload, meta);
+    });
+  }
 
   http_->handle("/status",
                 [this](const middleware::HttpRequest&) {
@@ -112,6 +124,16 @@ std::string ItsStation::status_report() const {
                 static_cast<unsigned long long>(den_->stats().repetitions),
                 static_cast<unsigned long long>(den_->stats().kaf_retransmissions));
   out += line;
+  if (cpm_) {
+    std::snprintf(line, sizeof line,
+                  "  cpm: sent=%llu received=%llu published=%llu fused=%llu deduped=%llu\n",
+                  static_cast<unsigned long long>(cpm_->stats().cpms_sent),
+                  static_cast<unsigned long long>(cpm_->stats().cpms_received),
+                  static_cast<unsigned long long>(cpm_->stats().objects_published),
+                  static_cast<unsigned long long>(cpm_->stats().objects_fused),
+                  static_cast<unsigned long long>(cpm_->stats().objects_deduped));
+    out += line;
+  }
   return out;
 }
 

@@ -53,6 +53,17 @@ void TestbedConfig::validate() const {
     throw std::invalid_argument{
         "TestbedConfig: medium_partitions must be non-negative (0 = environment)"};
   }
+  if (cpm_enable) {
+    if (cpm_interval <= sim::SimTime::zero()) {
+      throw std::invalid_argument{"TestbedConfig: cpm_interval must be positive"};
+    }
+    if (cpm_object_lifetime <= sim::SimTime::zero()) {
+      throw std::invalid_argument{"TestbedConfig: cpm_object_lifetime must be positive"};
+    }
+    if (cpm_redundancy_window < sim::SimTime::zero()) {
+      throw std::invalid_argument{"TestbedConfig: cpm_redundancy_window must be non-negative"};
+    }
+  }
   if (geo::distance(track_start, track_end) < 1e-6) {
     throw std::invalid_argument{"TestbedConfig: track_start and track_end coincide"};
   }
@@ -159,6 +170,18 @@ TestbedScenario::TestbedScenario(TestbedConfig config)
                                                        config_.edge_ntp);
 
   // --- Stations (before the hazard service, which needs the RSU's LDM) ---
+  if (config_.cpm_enable) {
+    const auto enable_cpm = [&](ItsStationConfig& st) {
+      st.enable_cpm = true;
+      st.cpm.interval = config_.cpm_interval;
+      st.cpm.redundancy_window = config_.cpm_redundancy_window;
+      // Remote percepts pass the same quality bar as local detections do
+      // at the hazard gate.
+      st.cpm.fusion_min_confidence = config_.hazard.min_confidence;
+    };
+    enable_cpm(config_.obu);
+    enable_cpm(config_.rsu);
+  }
   if (config_.use_gnss) {
     gnss_ = std::make_unique<vehicle::GnssReceiver>(sched_, *dynamics_, rng_.child("gnss"),
                                                     config_.gnss);
@@ -176,6 +199,23 @@ TestbedScenario::TestbedScenario(TestbedConfig config)
       sched_, *medium_, *lan_, frame_, config_.rsu,
       [pos = config_.rsu_position] { return its::EgoState{pos, 0.0, 0.0}; }, rng_.child("rsu"),
       &trace_);
+
+  if (config_.cpm_enable) {
+    obu_->ldm().set_perceived_object_lifetime(config_.cpm_object_lifetime);
+    rsu_->ldm().set_perceived_object_lifetime(config_.cpm_object_lifetime);
+    obu_->cpm()->set_metrics(&metrics_);
+    rsu_->cpm()->set_metrics(&metrics_);
+    // The detection stream feeds the RSU's LDM continuously (not only at
+    // DENM trigger time) so the CP service has percepts to publish.
+    edge_bus_->subscribe_to<roadside::DetectionBatch>(
+        "detections", [this](const roadside::DetectionBatch& batch) { feed_rsu_ldm(batch); });
+    // The OBU consumes the fused picture: every accepted remote percept is
+    // assessed against the ego track by the collision predictor.
+    obu_->cpm()->set_fused_callback(
+        [this](const its::PerceivedObject& object, const its::GnDeliveryMeta&) {
+          on_fused_percept(object);
+        });
+  }
 
   hazard_ = std::make_unique<roadside::HazardAdvertisementService>(
       sched_, *edge_bus_, *edge_host_, frame_, config_.camera_position, config_.camera_facing_rad,
@@ -249,6 +289,59 @@ void TestbedScenario::schedule_separation_probe() {
   });
 }
 
+void TestbedScenario::feed_rsu_ldm(const roadside::DetectionBatch& batch) {
+  for (const auto& det : batch.detections) {
+    const geo::Vec2 dir =
+        geo::vector_from_heading(config_.camera_facing_rad + det.detection.bearing_rad);
+    its::PerceivedObject obj;
+    obj.object_id = det.detection.object_id;
+    obj.classification = det.detection.label;
+    obj.position = config_.camera_position + dir * det.detection.estimated_distance_m;
+    obj.confidence = det.detection.confidence;
+    obj.measured = det.capture_time;
+    // World-frame velocity by smoothed finite differences: the tracker's
+    // range rate only captures the radial component.
+    auto [it, fresh] = cpm_feed_tracks_.try_emplace(obj.object_id);
+    if (!fresh) {
+      const double dt = (det.capture_time - it->second.at).to_seconds();
+      if (dt > 1e-6) {
+        const geo::Vec2 raw = (obj.position - it->second.position) * (1.0 / dt);
+        it->second.velocity = it->second.velocity * 0.35 + raw * 0.65;
+      }
+    }
+    it->second.position = obj.position;
+    it->second.at = det.capture_time;
+    obj.velocity = it->second.velocity;
+    rsu_->ldm().update_perceived_object(obj);
+  }
+}
+
+void TestbedScenario::on_fused_percept(const its::PerceivedObject& object) {
+  if (cpm_stop_latched_) return;
+  // The RSU's camera also perceives the protagonist itself; that percept
+  // comes back over CPM co-located with the ego and would read as a
+  // zero-distance conflict. Percept position error is centimetres
+  // (distance_noise_sigma_m), so a sub-vehicle-length gate removes only
+  // self-observations.
+  if (geo::distance(object.position, dynamics_->position()) < 0.75) return;
+  const roadside::CollisionPredictor predictor{config_.hazard.cpa};
+  its::LdmVehicleEntry ego;
+  ego.station_id = config_.obu.station_id;
+  ego.position = dynamics_->position();
+  ego.speed_mps = dynamics_->speed_mps();
+  ego.heading_rad = dynamics_->heading_rad();
+  const auto threat = predictor.assess(object.position, object.velocity, {ego});
+  if (!threat) return;
+  cpm_stop_latched_ = true;
+  metrics_.counter("cpm.emergency_stops").add();
+  trace_.record_event(sched_.now(), sim::Stage::HazardDecision, config_.obu.station_id,
+                      object.object_id, threat->t_cpa_s, sim::kHazardFusedPercept);
+  // Short on-board application handling, then the planner's stop path.
+  sched_.post_in(sim::SimTime::milliseconds(2), [this] {
+    vehicle_bus_->publish("v2x_emergency", std::string{"CPM fused-percept collision risk"});
+  });
+}
+
 void TestbedScenario::start_services() {
   if (services_started_) return;
   services_started_ = true;
@@ -268,6 +361,10 @@ void TestbedScenario::start_services() {
   if (gnss_) gnss_->start();
   detection_->start();
   hazard_->start();
+  if (config_.cpm_enable) {
+    obu_->cpm()->start();
+    rsu_->cpm()->start();
+  }
   if (config_.enable_cam) {
     obu_->start_cam([this] {
       its::CaVehicleData data;

@@ -60,7 +60,10 @@ void Ldm::update_from_denm(const Denm& denm) {
 
 void Ldm::update_perceived_object(PerceivedObject object) {
   garbage_collect();
+  // Every update refreshes the expiry window; `measured` keeps the sensor
+  // timestamp (defaulting to now) so fused remote percepts retain their age.
   object.observed = sched_.now();
+  if (object.measured == sim::SimTime{}) object.measured = sched_.now();
   const std::uint32_t id = object.object_id;
   objects_[id] = std::move(object);
   notify({.kind = LdmUpdateKind::PerceivedObject, .object = id});
@@ -70,7 +73,11 @@ void Ldm::garbage_collect() {
   const sim::SimTime now = sched_.now();
   std::erase_if(vehicles_, [&](const auto& kv) { return now - kv.second.last_update > vehicle_lifetime_; });
   std::erase_if(events_, [&](const auto& kv) { return now > kv.second.expires; });
-  std::erase_if(objects_, [&](const auto& kv) { return now - kv.second.observed > object_lifetime_; });
+  // Perceived objects use a half-open lifetime window (alive for
+  // observed <= t < observed + lifetime), matching the fault-window
+  // convention: an object exactly at the boundary is already stale.
+  objects_expired_ += static_cast<std::uint64_t>(std::erase_if(
+      objects_, [&](const auto& kv) { return now - kv.second.observed >= object_lifetime_; }));
 }
 
 std::optional<LdmVehicleEntry> Ldm::vehicle(StationId id) const {
@@ -115,7 +122,7 @@ std::vector<LdmEventEntry> Ldm::events_in(const geo::GeoArea& area) const {
 std::vector<PerceivedObject> Ldm::perceived_objects() const {
   std::vector<PerceivedObject> out;
   for (const auto& [id, o] : objects_) {
-    if (sched_.now() - o.observed <= object_lifetime_) out.push_back(o);
+    if (sched_.now() - o.observed < object_lifetime_) out.push_back(o);
   }
   return out;
 }
@@ -123,7 +130,7 @@ std::vector<PerceivedObject> Ldm::perceived_objects() const {
 std::optional<PerceivedObject> Ldm::perceived_object(std::uint32_t id) const {
   const auto it = objects_.find(id);
   if (it == objects_.end()) return std::nullopt;
-  if (sched_.now() - it->second.observed > object_lifetime_) return std::nullopt;
+  if (sched_.now() - it->second.observed >= object_lifetime_) return std::nullopt;
   return it->second;
 }
 

@@ -44,6 +44,14 @@ void CitySpec::validate() const {
   if (rsu_cam_interval <= sim::SimTime::zero() || obu_cam_interval <= sim::SimTime::zero()) {
     throw std::invalid_argument{"CitySpec: CAM intervals must be positive"};
   }
+  if (cpm_enable) {
+    if (cpm_interval <= sim::SimTime::zero() || cpm_object_lifetime <= sim::SimTime::zero()) {
+      throw std::invalid_argument{"CitySpec: CPM interval and object lifetime must be positive"};
+    }
+    if (cpm_redundancy_window < sim::SimTime::zero()) {
+      throw std::invalid_argument{"CitySpec: cpm_redundancy_window_ms must be non-negative"};
+    }
+  }
   if (path_loss_exponent < 1.0) {
     throw std::invalid_argument{"CitySpec: path_loss_exponent below free-space is unphysical"};
   }
@@ -118,6 +126,14 @@ CitySpec parse_city_spec(const std::string& text) {
       spec.enable_dcc = parse_spec_bool(value, key);
     } else if (key == "enable_kaf") {
       spec.enable_kaf = parse_spec_bool(value, key);
+    } else if (key == "cpm_enable") {
+      spec.cpm_enable = parse_spec_bool(value, key);
+    } else if (key == "cpm_interval_ms") {
+      spec.cpm_interval = sim::SimTime::milliseconds(parse_spec_int(value, key));
+    } else if (key == "cpm_object_lifetime_ms") {
+      spec.cpm_object_lifetime = sim::SimTime::milliseconds(parse_spec_int(value, key));
+    } else if (key == "cpm_redundancy_window_ms") {
+      spec.cpm_redundancy_window = sim::SimTime::milliseconds(parse_spec_int(value, key));
     } else if (key == "path_loss_exponent") {
       spec.path_loss_exponent = parse_spec_double(value, key);
     } else if (key == "shadowing_sigma_db") {
@@ -163,6 +179,10 @@ std::vector<std::pair<std::string, std::string>> city_spec_keys() {
       {"obu_cam_interval_ms", "fixed vehicle CAM period"},
       {"enable_dcc", "reactive DCC gate on every station"},
       {"enable_kaf", "DEN keep-alive forwarding on vehicles"},
+      {"cpm_enable", "collective perception service on every station"},
+      {"cpm_interval_ms", "CPM generation period"},
+      {"cpm_object_lifetime_ms", "LDM perceived-object lifetime under CPM"},
+      {"cpm_redundancy_window_ms", "skip objects a peer announced within this window"},
       {"path_loss_exponent", "log-distance channel exponent"},
       {"shadowing_sigma_db", "log-normal shadowing sigma"},
       {"tx_power_dbm", "station transmit power"},
@@ -204,6 +224,10 @@ std::string format_city_spec(const CitySpec& spec) {
   integer("obu_cam_interval_ms", spec.obu_cam_interval.count_ns() / 1'000'000);
   boolean("enable_dcc", spec.enable_dcc);
   boolean("enable_kaf", spec.enable_kaf);
+  boolean("cpm_enable", spec.cpm_enable);
+  integer("cpm_interval_ms", spec.cpm_interval.count_ns() / 1'000'000);
+  integer("cpm_object_lifetime_ms", spec.cpm_object_lifetime.count_ns() / 1'000'000);
+  integer("cpm_redundancy_window_ms", spec.cpm_redundancy_window.count_ns() / 1'000'000);
   num("path_loss_exponent", spec.path_loss_exponent);
   num("shadowing_sigma_db", spec.shadowing_sigma_db);
   num("tx_power_dbm", spec.tx_power_dbm);
@@ -363,6 +387,11 @@ class CityScenario::VehicleEntry {
     cfg.ca.t_gen_cam_max = city.spec_.obu_cam_interval;
     cfg.enable_dcc = city.spec_.enable_dcc;
     cfg.den.enable_kaf = city.spec_.enable_kaf;
+    if (city.spec_.cpm_enable) {
+      cfg.enable_cpm = true;
+      cfg.cpm.interval = city.spec_.cpm_interval;
+      cfg.cpm.redundancy_window = city.spec_.cpm_redundancy_window;
+    }
     auto* sched = &city.sched_;
     const VehicleFlow* route = &flow_;
     station_ = std::make_unique<core::ItsStation>(
@@ -373,6 +402,9 @@ class CityScenario::VehicleEntry {
                                flow_heading_rad(*route, sched->now())};
         },
         city.rng_.child(cfg.name));
+    if (city.spec_.cpm_enable) {
+      station_->ldm().set_perceived_object_lifetime(city.spec_.cpm_object_lifetime);
+    }
   }
 
   [[nodiscard]] core::ItsStation& station() { return *station_; }
@@ -426,10 +458,18 @@ CityScenario::CityScenario(CitySpec spec)
     cfg.ca.t_gen_cam_min = spec_.rsu_cam_interval;
     cfg.ca.t_gen_cam_max = spec_.rsu_cam_interval;
     cfg.enable_dcc = spec_.enable_dcc;
+    if (spec_.cpm_enable) {
+      cfg.enable_cpm = true;
+      cfg.cpm.interval = spec_.cpm_interval;
+      cfg.cpm.redundancy_window = spec_.cpm_redundancy_window;
+    }
     const geo::Vec2 pos = net_.rsu_positions[i];
     rsus_.push_back(std::make_unique<core::ItsStation>(
         sched_, *medium_, *lan_, frame_, cfg,
         [pos] { return its::EgoState{pos, 0.0, 0.0}; }, rng_.child(cfg.name)));
+    if (spec_.cpm_enable) {
+      rsus_.back()->ldm().set_perceived_object_lifetime(spec_.cpm_object_lifetime);
+    }
   }
 
   vehicles_.reserve(net_.flows.size());
@@ -478,6 +518,8 @@ void CityScenario::start() {
         data.position = pos;
         return data;
       });
+      // CPM rides the same phase offset as the CAM start (no extra draws).
+      if (station->cpm()) station->cpm()->start();
     });
   }
   for (auto& veh : vehicles_) {
@@ -493,6 +535,7 @@ void CityScenario::start() {
         data.speed_mps = flow->speed_mps > 0 ? flow->speed_mps : 0.0;
         return data;
       });
+      if (station->cpm()) station->cpm()->start();
     });
   }
 }

@@ -34,6 +34,9 @@ std::string_view stage_name(Stage stage) {
     case Stage::CampaignRejected: return "CampaignRejected";
     case Stage::CampaignTrial: return "CampaignTrial";
     case Stage::StoreCompaction: return "StoreCompaction";
+    case Stage::CpmTx: return "CpmTx";
+    case Stage::CpmRx: return "CpmRx";
+    case Stage::CpmFusion: return "CpmFusion";
   }
   return "Unknown";
 }

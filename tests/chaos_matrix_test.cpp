@@ -158,6 +158,69 @@ TEST(ChaosMatrix, ConfidenceCollapseIsCaughtByTheMinConfidenceGate) {
   EXPECT_GT(scenario.hazard().stats().detections_gated, 0u);
 }
 
+// --- Collective perception under perception faults ---
+
+TestbedConfig poisoned_cpm_config(std::uint64_t seed, double min_confidence) {
+  TestbedConfig config;
+  config.seed = seed;
+  config.cpm_enable = true;
+  config.cpm_interval = 100_ms;
+  // The CPM fusion gate inherits hazard.min_confidence, so one knob guards
+  // both the DENM decision and the collective-perception boundary.
+  config.hazard.min_confidence = min_confidence;
+  config.fault_plan.clauses = {
+      {FaultKind::YoloMisclassify, "yolo", 0_ms, 30'000_ms, 1.0},
+      {FaultKind::YoloConfidence, "yolo", 0_ms, 30'000_ms, 0.5},
+  };
+  return config;
+}
+
+TEST(ChaosMatrix, PoisonedPerceptsAreConfidenceGatedAtTheFusionBoundary) {
+  // A misclassification burst plus a confidence collapse poisons every
+  // detection the RSU would share. With the gate at 0.6 the collapsed
+  // confidences (~0.44 from the 0.88 stop-sign profile) never clear it:
+  // CPMs still flow, but nothing poisoned enters the OBU's fused picture
+  // and nothing brakes the vehicle.
+  TestbedScenario scenario{poisoned_cpm_config(215, 0.6)};
+  const TrialResult r = scenario.run_emergency_brake_trial(12_s);
+  EXPECT_FALSE(r.stopped_by_denm);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_GT(scenario.hazard().stats().detections_gated, 0u);
+
+  const auto& rx = scenario.obu().cpm()->stats();
+  EXPECT_GT(scenario.rsu().cpm()->stats().objects_published, 0u);
+  EXPECT_GT(rx.cpms_received, 0u);
+  EXPECT_GT(rx.objects_gated, 0u);
+  EXPECT_EQ(rx.objects_fused, 0u);
+  EXPECT_TRUE(scenario.obu().ldm().perceived_objects().empty());
+  EXPECT_EQ(scenario.metrics().counter("cpm.emergency_stops").value(), 0u);
+}
+
+TEST(ChaosMatrix, OpenFusionGateAdmitsThePoisonedPercepts) {
+  // Contrast cell: the same poisoned plan with the gate left open. The wrong
+  // labels are not in the CPM class table, so they cross the wire as class
+  // "unknown" and land in the OBU's fused picture with RSU provenance. Only
+  // the ego-exclusion gate (the percept is the vehicle itself) keeps the
+  // poison from braking the run; the DENM chain is label-agnostic with the
+  // road-user gate off and stops the vehicle as usual.
+  TestbedScenario scenario{poisoned_cpm_config(216, 0.0)};
+  const TrialResult r = scenario.run_emergency_brake_trial();
+  ASSERT_TRUE(r.stopped_by_denm);
+
+  const auto& rx = scenario.obu().cpm()->stats();
+  EXPECT_GT(rx.objects_fused, 0u);
+  EXPECT_EQ(rx.objects_gated, 0u);
+  bool saw_poison = false;
+  for (const auto& obj : scenario.obu().ldm().perceived_objects()) {
+    if (obj.source_station == scenario.config().rsu.station_id &&
+        obj.classification == "unknown") {
+      saw_poison = true;
+    }
+  }
+  EXPECT_TRUE(saw_poison);
+  EXPECT_EQ(scenario.metrics().counter("cpm.emergency_stops").value(), 0u);
+}
+
 // --- Positioning / nodes ---
 
 TEST(ChaosMatrix, GnssDriftCorruptsAdvertisedPositionsNotTheStopPath) {
@@ -343,6 +406,27 @@ TEST(ChaosDeterminism, SixFaultPlanIsBitIdenticalAcrossRerunsAndThreadCounts) {
   const ExperimentSummary pooled = run_emergency_brake_experiment(config, 8, 8);
   expect_identical_summaries(serial_a, serial_b);
   expect_identical_summaries(serial_a, pooled);
+}
+
+TEST(ChaosDeterminism, PoisonedCpmCellReplaysBitIdentically) {
+  // The fusion-boundary cell is itself a chaos run: same (seed, plan) must
+  // replay event-for-event and stat-for-stat with CPM traffic on the air.
+  const auto run_once = [] {
+    TestbedScenario scenario{poisoned_cpm_config(215, 0.6)};
+    const TrialResult r = scenario.run_emergency_brake_trial(12_s);
+    std::vector<std::tuple<sim::SimTime, sim::Stage, std::uint64_t, std::uint16_t>> events;
+    for (const auto& ev : scenario.trace().events()) {
+      events.emplace_back(ev.when, ev.stage, ev.a, ev.detail);
+    }
+    const auto& rx = scenario.obu().cpm()->stats();
+    return std::tuple{r.timed_out,       events,           rx.cpms_received,
+                      rx.objects_gated,  rx.objects_fused,
+                      scenario.rsu().cpm()->stats().objects_published};
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_TRUE(std::get<0>(a));
+  EXPECT_EQ(a, b);
 }
 
 TEST(ChaosDeterminism, FaultTimelineReplaysEventForEvent) {

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "rst/scenario/cpm_scenarios.hpp"
+
+namespace rst::scenario {
+namespace {
+
+using namespace rst::sim::literals;
+
+// --- Occluded pedestrian -----------------------------------------------------
+
+TEST(OccludedPedestrian, CpmBrakesBeforeLineOfSightOpens) {
+  const auto on = run_occluded_pedestrian(42, /*cpm_enable=*/true);
+  ASSERT_TRUE(on.cpm_enabled);
+  ASSERT_TRUE(on.fused);
+  ASSERT_TRUE(on.braked);
+  ASSERT_TRUE(on.los_seen);
+  // The chain the scenario proves: percepts fused over the air first, the
+  // brake decision follows, and direct line of sight opens only seconds
+  // later — the vehicle stopped for an object it never saw.
+  EXPECT_LT(on.t_first_fusion, on.t_brake);
+  EXPECT_LT(on.t_brake, on.t_los);
+  EXPECT_GE(on.t_los - on.t_brake, 1_s);
+  EXPECT_GT(on.cpms_sent, 0u);
+  EXPECT_GT(on.objects_fused, 0u);
+}
+
+TEST(OccludedPedestrian, WithoutCpmTheVehicleNeverBrakes) {
+  const auto off = run_occluded_pedestrian(42, /*cpm_enable=*/false);
+  EXPECT_FALSE(off.braked);
+  EXPECT_FALSE(off.fused);
+  EXPECT_EQ(off.cpms_sent, 0u);
+  EXPECT_EQ(off.objects_fused, 0u);
+  // The un-warned vehicle threads the crossing at sub-vehicle separation.
+  EXPECT_LT(off.min_separation_m, 1.5);
+}
+
+TEST(OccludedPedestrian, CpmWidensTheMinimumSeparation) {
+  const auto on = run_occluded_pedestrian(42, true);
+  const auto off = run_occluded_pedestrian(42, false);
+  EXPECT_GT(on.min_separation_m, off.min_separation_m + 1.5);
+}
+
+// --- Blind intersection ------------------------------------------------------
+
+TEST(BlindIntersection, FusedPerceptRaisesTheThreat) {
+  const auto on = run_blind_intersection(7, /*cpm_enable=*/true);
+  ASSERT_TRUE(on.threat_flagged);
+  EXPECT_TRUE(on.b_braked);
+  // Provenance: the percept that raised the threat was sensed by the
+  // parked observer, not by the vehicle itself.
+  EXPECT_EQ(on.threat_source, 101u);
+  // Flagged on the first few CPMs, long before the conflict (~3.8 s in).
+  EXPECT_LT(on.t_threat, 1_s);
+  EXPECT_GT(on.min_gap_m, 10.0);
+  EXPECT_GT(on.cpms_sent, 0u);
+  EXPECT_GT(on.objects_fused, 0u);
+}
+
+TEST(BlindIntersection, WithoutCpmTheConflictPlaysOut) {
+  const auto off = run_blind_intersection(7, /*cpm_enable=*/false);
+  EXPECT_FALSE(off.threat_flagged);
+  EXPECT_FALSE(off.b_braked);
+  EXPECT_LT(off.min_gap_m, 1.5);
+  EXPECT_EQ(off.cpms_sent, 0u);
+}
+
+}  // namespace
+}  // namespace rst::scenario

@@ -483,6 +483,59 @@ TEST(Ldm, PerceivedObjectsStoredAndQueried) {
   EXPECT_FALSE(ldm.perceived_object(4).has_value());
 }
 
+TEST(Ldm, PerceivedObjectExpiryWindowIsHalfOpen) {
+  sim::Scheduler sched;
+  geo::LocalFrame frame{{41.1780, -8.6080}};
+  Ldm ldm{sched, frame};
+  ldm.set_perceived_object_lifetime(500_ms);
+  ldm.update_perceived_object({.object_id = 3, .classification = "person"});
+  sched.run_until(499_ms);
+  EXPECT_TRUE(ldm.perceived_object(3).has_value());
+  EXPECT_EQ(ldm.perceived_objects().size(), 1u);
+  // Exactly at the lifetime boundary the object is already stale: the
+  // window is [observed, observed + lifetime), matching expiry.
+  sched.run_until(500_ms);
+  EXPECT_FALSE(ldm.perceived_object(3).has_value());
+  EXPECT_TRUE(ldm.perceived_objects().empty());
+}
+
+TEST(Ldm, PerceivedObjectRefreshExtendsExpiry) {
+  sim::Scheduler sched;
+  geo::LocalFrame frame{{41.1780, -8.6080}};
+  Ldm ldm{sched, frame};
+  ldm.set_perceived_object_lifetime(500_ms);
+  ldm.update_perceived_object({.object_id = 3, .classification = "person"});
+  sched.run_until(400_ms);
+  // Re-observing the object must restart its expiry clock, not let the
+  // original insertion time keep ticking underneath.
+  ldm.update_perceived_object({.object_id = 3, .classification = "person"});
+  sched.run_until(800_ms);
+  EXPECT_TRUE(ldm.perceived_object(3).has_value());
+  sched.run_until(900_ms);
+  EXPECT_FALSE(ldm.perceived_object(3).has_value());
+  ldm.garbage_collect();
+  EXPECT_EQ(ldm.perceived_objects_expired(), 1u);
+}
+
+TEST(Ldm, PerceivedObjectMeasuredDefaultsToUpdateTime) {
+  sim::Scheduler sched;
+  geo::LocalFrame frame{{41.1780, -8.6080}};
+  Ldm ldm{sched, frame};
+  sched.run_until(200_ms);
+  ldm.update_perceived_object({.object_id = 1, .classification = "person"});
+  EXPECT_EQ(ldm.perceived_object(1)->measured, 200_ms);
+  // An explicit (older) measurement timestamp survives the update.
+  PerceivedObject remote;
+  remote.object_id = 2;
+  remote.classification = "bicycle";
+  remote.measured = 50_ms;
+  remote.source_station = 900;
+  ldm.update_perceived_object(remote);
+  EXPECT_EQ(ldm.perceived_object(2)->measured, 50_ms);
+  EXPECT_EQ(ldm.perceived_object(2)->source_station, 900u);
+  EXPECT_EQ(ldm.perceived_object(1)->source_station, 0u);  // local sensing
+}
+
 TEST(Ldm, AreaQueriesFilterGeometrically) {
   sim::Scheduler sched;
   geo::LocalFrame frame{{41.1780, -8.6080}};

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "rst/its/messages/cam.hpp"
+#include "rst/its/messages/cpm.hpp"
 #include "rst/its/messages/denm.hpp"
 #include "rst/its/network/btp.hpp"
 #include "rst/its/network/geonet.hpp"
@@ -32,6 +33,10 @@ TEST_P(FuzzSeeds, RandomBytesNeverCrashDecoders) {
     }
     try {
       (void)its::Denm::decode(bytes);
+    } catch (const asn1::DecodeError&) {
+    }
+    try {
+      (void)its::Cpm::decode(bytes);
     } catch (const asn1::DecodeError&) {
     }
     try {
@@ -134,6 +139,18 @@ its::Denm corpus_denm() {
   return denm;
 }
 
+its::Cpm corpus_cpm() {
+  its::Cpm cpm;
+  cpm.header.station_id = 900;
+  cpm.generation_delta_time = 777;
+  cpm.management.station_type = its::StationType::RoadSideUnit;
+  cpm.management.reference_position.latitude = 411780000;
+  cpm.management.reference_position.longitude = -86080000;
+  cpm.objects.push_back({9, 120, -250, 430, -25, 0, 1, 92});
+  cpm.objects.push_back({10, 0, 1200, -90, 0, 120, 7, 77});
+  return cpm;
+}
+
 std::vector<std::uint8_t> wrap_in_gn(std::vector<std::uint8_t> facilities_pdu,
                                      std::uint16_t port) {
   its::GnPacket pkt;
@@ -171,6 +188,9 @@ std::vector<std::uint8_t> chain_decode_reencode(const std::vector<std::uint8_t>&
     } else if (btp.header.destination_port == its::kBtpPortDenm) {
       const auto denm = its::Denm::decode(btp.payload);
       pkt.payload = its::BtpHeader{its::kBtpPortDenm, 0}.prepend_to(denm.encode());
+    } else if (btp.header.destination_port == its::kBtpPortCpm) {
+      const auto cpm = its::Cpm::decode(btp.payload);
+      pkt.payload = its::BtpHeader{its::kBtpPortCpm, 0}.prepend_to(cpm.encode());
     }
   } catch (const asn1::DecodeError&) {
     return {};
@@ -183,6 +203,7 @@ TEST_P(FuzzSeeds, ChainedStackSurvivesBitflipCorpus) {
   const std::vector<std::vector<std::uint8_t>> corpus = {
       wrap_in_gn(corpus_cam().encode(), its::kBtpPortCam),
       wrap_in_gn(corpus_denm().encode(), its::kBtpPortDenm),
+      wrap_in_gn(corpus_cpm().encode(), its::kBtpPortCpm),
   };
   for (const auto& clean : corpus) {
     // The unmutated encoding must be accepted and must round-trip to a
@@ -213,6 +234,7 @@ TEST_P(FuzzSeeds, ChainedStackSurvivesTruncationCorpus) {
   const std::vector<std::vector<std::uint8_t>> corpus = {
       wrap_in_gn(corpus_cam().encode(), its::kBtpPortCam),
       wrap_in_gn(corpus_denm().encode(), its::kBtpPortDenm),
+      wrap_in_gn(corpus_cpm().encode(), its::kBtpPortCpm),
   };
   for (const auto& clean : corpus) {
     // Every prefix length once: deterministic sweep, then a random batch of
@@ -233,6 +255,23 @@ TEST_P(FuzzSeeds, ChainedStackSurvivesTruncationCorpus) {
       if (!reencoded.empty()) EXPECT_EQ(chain_decode_reencode(reencoded), reencoded);
     }
   }
+}
+
+TEST(CpmFuzz, ObjectCountLieIsRejected) {
+  // A CPM whose count field promises more perceived-object containers than
+  // the buffer carries: the decoder must reject it, not read past the end.
+  its::Cpm empty = corpus_cpm();
+  empty.objects.clear();
+  its::Cpm full = corpus_cpm();
+  full.objects.clear();
+  for (std::size_t i = 0; i < its::kCpmMaxPerceivedObjects; ++i) {
+    full.objects.push_back({static_cast<std::uint16_t>(i), 10, 100, -100, 5, -5, 1, 80});
+  }
+  auto lying = full.encode();
+  // Same bit layout up to the count field, so cutting the full encoding to
+  // the empty one's length leaves count = 128 with zero object payload.
+  lying.resize(empty.encode().size());
+  EXPECT_THROW((void)its::Cpm::decode(lying), asn1::DecodeError);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range<std::uint64_t>(1, 9));
